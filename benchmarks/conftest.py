@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md §4 for the experiment index) and reports the reproduced numbers
+through ``benchmark.extra_info`` as well as stdout (run with ``-s`` to see
+the rows).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import motivating_example
+from repro.mpeg2 import build_mpeg2_library, build_mpeg2_system
+
+
+@pytest.fixture(scope="session")
+def motivating():
+    return motivating_example()
+
+
+@pytest.fixture(scope="session")
+def mpeg2_system():
+    return build_mpeg2_system()
+
+
+@pytest.fixture(scope="session")
+def mpeg2_library():
+    return build_mpeg2_library()
+
+
+def print_table(title: str, rows: list[tuple]) -> None:
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("  " + "  ".join(str(cell) for cell in row))

@@ -1,0 +1,70 @@
+"""Extension bench: bus-width optimization on the MPEG-2 interconnect.
+
+The paper characterizes channel latencies from "the quantity of the data
+to be transferred and the physical constraints imposed by the HLS tool";
+this bench treats those physical constraints as a knob: starting from
+8-element lanes everywhere, let :func:`repro.hls.optimize_widths` pick the
+cheapest per-channel widths that hold M1's cycle time — showing which of
+the 60 channels actually earn their wires.
+"""
+
+from repro.dse import SystemConfiguration
+from repro.hls import optimize_widths
+from repro.model import analyze_system
+from repro.mpeg2 import CHANNEL_SPECS, m1_selection
+from repro.ordering import declaration_ordering
+
+from conftest import print_table
+
+
+def _volumes() -> dict[str, int]:
+    return {
+        name: spec[2] for name, spec in CHANNEL_SPECS.items()
+    }
+
+
+def test_bench_mpeg2_bus_widths(benchmark, mpeg2_system, mpeg2_library):
+    config = SystemConfiguration(
+        mpeg2_system, mpeg2_library, m1_selection(mpeg2_library),
+        declaration_ordering(mpeg2_system),
+    )
+    latencies = config.process_latencies()
+    baseline = analyze_system(
+        mpeg2_system, config.ordering, process_latencies=latencies
+    )
+    target = baseline.cycle_time  # hold M1's performance exactly
+
+    result = benchmark.pedantic(
+        optimize_widths,
+        args=(mpeg2_system, _volumes(), target),
+        kwargs={
+            "widths": (8, 16, 32, 64),
+            "ordering": config.ordering,
+            "process_latencies": latencies,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    assert result.feasible
+    assert result.cycle_time <= target
+    wide = {name: w for name, w in result.widths.items() if w > 8}
+    narrow = sum(1 for w in result.widths.values() if w == 8)
+    assert narrow > 0, "most control channels should stay narrow"
+
+    benchmark.extra_info.update(
+        {
+            "target_kcycles": round(float(target) / 1000, 1),
+            "achieved_kcycles": round(float(result.cycle_time) / 1000, 1),
+            "total_lanes": int(result.wire_area),
+            "widened_channels": len(wide),
+            "narrow_channels": narrow,
+        }
+    )
+    print_table(
+        "MPEG-2 bus widths holding M1's cycle time",
+        [("total lanes", int(result.wire_area)),
+         ("widened channels", len(wide)),
+         ("kept at 8 lanes", narrow)]
+        + sorted(wide.items(), key=lambda kv: -kv[1])[:10],
+    )

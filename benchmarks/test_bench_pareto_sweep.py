@@ -1,0 +1,55 @@
+"""Extension bench: the MPEG-2 system-level Pareto frontier.
+
+Section 6 frames ERMES as enabling "richer design-space explorations" than
+the fixed Pareto set of the compositional flow it builds on.  This bench
+realizes one: sweeping the target cycle time from relaxed to aggressive
+and collecting the best feasible configuration per target — the
+latency/area frontier of the whole encoder with reordering in the loop.
+"""
+
+from repro.dse import SystemConfiguration, pareto_points, sweep_table, sweep_targets
+from repro.mpeg2 import m2_selection
+from repro.ordering import declaration_ordering
+
+from conftest import print_table
+
+TARGETS = [4_500_000, 3_500_000, 2_800_000, 2_200_000, 1_900_000]
+
+
+def _run(system, library):
+    config = SystemConfiguration(
+        system, library, m2_selection(library), declaration_ordering(system)
+    )
+    return sweep_targets(config, TARGETS, max_iterations=8)
+
+
+def test_bench_mpeg2_pareto_sweep(benchmark, mpeg2_system, mpeg2_library):
+    points = benchmark.pedantic(
+        _run, args=(mpeg2_system, mpeg2_library), rounds=1, iterations=1
+    )
+
+    feasible = [p for p in points if p.feasible]
+    assert len(feasible) >= 3
+    frontier = pareto_points(points)
+    # the frontier trades monotonically: faster costs area
+    cts = [float(p.cycle_time) for p in frontier]
+    areas = [p.area for p in frontier]
+    assert cts == sorted(cts)
+    assert areas == sorted(areas, reverse=True)
+
+    benchmark.extra_info.update(
+        {
+            "targets": len(points),
+            "feasible": len(feasible),
+            "frontier_size": len(frontier),
+        }
+    )
+    print_table(
+        "MPEG-2 system-level Pareto frontier (cycle time vs area)",
+        [
+            (f"{float(p.cycle_time) / 1000:.0f} KCycles",
+             f"{p.area / 1e6:.3f} mm2")
+            for p in frontier
+        ],
+    )
+    print(sweep_table(points, area_unit=1e6, cycle_time_unit=1000))

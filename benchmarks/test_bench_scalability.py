@@ -1,0 +1,66 @@
+"""SCAL — Section 6 "Analysis of scalability".
+
+"We generated graphs with up to 10,000 processes interconnected with
+15,000 channels ... The experimental results demonstrate that our
+approach scales well, as ERMES takes a time of the order of a few minutes
+in the worst cases."
+
+One benchmark per size runs Algorithm 1 plus the performance analysis on
+a synthetic SoC of that size; the 10,000-process point (the paper's
+maximum) is asserted to finish well inside the paper's "few minutes".
+"""
+
+import time
+
+import pytest
+
+from repro.core import synthetic_soc
+from repro.model import analyze_system
+from repro.ordering import channel_ordering
+
+
+def _order_and_analyze(system):
+    ordering = channel_ordering(system)
+    # Float mode matches how a production tool would analyze 25k+ node
+    # graphs; exactness is validated against small graphs in the tests.
+    return analyze_system(system, ordering, exact=False)
+
+
+@pytest.mark.parametrize("n_processes", [100, 1000, 4000])
+def test_bench_scalability_sweep(benchmark, n_processes):
+    system = synthetic_soc(n_processes, seed=0)
+    performance = benchmark.pedantic(
+        _order_and_analyze, args=(system,), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    assert performance.cycle_time > 0
+    benchmark.extra_info.update(
+        {
+            "processes": n_processes,
+            "channels": len(system.channels),
+            "cycle_time": float(performance.cycle_time),
+        }
+    )
+
+
+def test_bench_scalability_paper_maximum(benchmark):
+    """The paper's largest instance: 10,000 processes / ~15,000 worker
+    channels, required to finish in minutes (ours: seconds)."""
+    system = synthetic_soc(10_000, seed=0)
+    start = time.perf_counter()
+    performance = benchmark.pedantic(
+        _order_and_analyze, args=(system,), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    elapsed = time.perf_counter() - start
+    assert performance.cycle_time > 0
+    assert elapsed < 300, "must stay within the paper's 'few minutes'"
+    benchmark.extra_info.update(
+        {
+            "processes": 10_000,
+            "channels": len(system.channels),
+            "elapsed_s": round(elapsed, 2),
+        }
+    )
+    print(f"\n10,000 processes / {len(system.channels)} channels: "
+          f"{elapsed:.1f}s (paper: minutes)")

@@ -1,0 +1,17 @@
+"""Benchmark-harness support: the experiment registry and table helpers."""
+
+from repro.bench.registry import (
+    EXPERIMENTS,
+    Experiment,
+    experiment,
+    format_registry,
+)
+from repro.bench.tables import format_rows
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "experiment",
+    "format_registry",
+    "format_rows",
+]

@@ -1,0 +1,116 @@
+"""The experiment registry: every paper artifact this repository regenerates.
+
+One authoritative list mapping the paper's tables/figures (plus this
+reproduction's ablations) to the benchmark that regenerates each and the
+claim it checks.  The CLI surfaces it (``ermes experiments``) and the
+benchmark suite asserts it stays in sync with the files on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable paper artifact.
+
+    Attributes:
+        id: Short experiment id used across DESIGN.md / EXPERIMENTS.md.
+        artifact: The paper table/figure/claim it corresponds to.
+        claim: The paper's headline number(s), condensed.
+        bench: Benchmark file (relative to ``benchmarks/``) regenerating it.
+    """
+
+    id: str
+    artifact: str
+    claim: str
+    bench: str
+
+
+EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment(
+        id="FIG2",
+        artifact="Fig. 2 / Section 2 (motivating example)",
+        claim="36 orderings; Listing-1 order deadlocks (P2-d, P6-g, P5-f)",
+        bench="test_bench_fig2_motivating.py",
+    ),
+    Experiment(
+        id="FIG3",
+        artifact="Fig. 3 (TMG model of P2)",
+        claim="chain a->L2->b,d,f; suboptimal cycle time 20 (throughput 0.05)",
+        bench="test_bench_fig3_tmg_model.py",
+    ),
+    Experiment(
+        id="FIG4",
+        artifact="Fig. 4 (channel-ordering algorithm)",
+        claim="labels per panel (b); optimum CT 12, 40% better than 20",
+        bench="test_bench_fig4_ordering.py",
+    ),
+    Experiment(
+        id="TAB1",
+        artifact="Table 1 (MPEG-2 setup)",
+        claim="26 processes, 60 channels, 171 Pareto points, latencies 1..5280",
+        bench="test_bench_table1_setup.py",
+    ),
+    Experiment(
+        id="M1",
+        artifact="Section 6, M1 experiment",
+        claim="CT 1906 KCycles; reordering alone -5%, area unchanged",
+        bench="test_bench_m1_reordering.py",
+    ),
+    Experiment(
+        id="FIG6L",
+        artifact="Fig. 6 left (timing optimization, TCT=2000 KCycles)",
+        claim="meets TCT from M2 (3597 KCycles); ~2x speed-up, area overhead",
+        bench="test_bench_fig6_timing.py",
+    ),
+    Experiment(
+        id="FIG6R",
+        artifact="Fig. 6 right (area recovery, TCT=4000 KCycles)",
+        claim="-32.46% area vs M2, <1% timing degradation",
+        bench="test_bench_fig6_area.py",
+    ),
+    Experiment(
+        id="SCAL",
+        artifact="Section 6, scalability analysis",
+        claim="10,000 processes / 15,000 channels within minutes",
+        bench="test_bench_scalability.py",
+    ),
+    Experiment(
+        id="SWEEP",
+        artifact="extension: system-level Pareto frontier",
+        claim="richer exploration: latency/area frontier via target sweep",
+        bench="test_bench_pareto_sweep.py",
+    ),
+    Experiment(
+        id="BUS",
+        artifact="extension: interconnect width optimization",
+        claim="cheapest per-channel bus widths holding M1's cycle time",
+        bench="test_bench_bus_widths.py",
+    ),
+    Experiment(
+        id="ABL",
+        artifact="extension: design-choice ablations",
+        claim="Howard vs Lawler vs enumeration; exact vs float; ILP backends; "
+        "annealing vs Algorithm 1",
+        bench="test_bench_ablations.py",
+    ),
+)
+
+
+def experiment(id: str) -> Experiment:
+    """Look an experiment up by id (case-insensitive)."""
+    for entry in EXPERIMENTS:
+        if entry.id.lower() == id.lower():
+            return entry
+    raise KeyError(id)
+
+
+def format_registry() -> str:
+    """Fixed-width rendering of the registry."""
+    lines = [f"{'id':<6} {'artifact':<48} bench"]
+    for entry in EXPERIMENTS:
+        lines.append(f"{entry.id:<6} {entry.artifact:<48} {entry.bench}")
+        lines.append(f"{'':<6} claim: {entry.claim}")
+    return "\n".join(lines) + "\n"

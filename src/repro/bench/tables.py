@@ -1,0 +1,36 @@
+"""Fixed-width table formatting shared by benchmarks and the CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_rows(
+    rows: Iterable[Sequence[object]],
+    header: Sequence[str] | None = None,
+    indent: str = "  ",
+) -> str:
+    """Render rows as a left-aligned fixed-width table.
+
+    Column widths are computed from the content; every cell is rendered
+    with ``str``.
+    """
+    materialized = [tuple(str(cell) for cell in row) for row in rows]
+    if header is not None:
+        materialized.insert(0, tuple(str(cell) for cell in header))
+    if not materialized:
+        return ""
+    n_columns = max(len(row) for row in materialized)
+    widths = [0] * n_columns
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for index, row in enumerate(materialized):
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(row)]
+        lines.append(indent + "  ".join(padded).rstrip())
+        if header is not None and index == 0:
+            lines.append(
+                indent + "  ".join("-" * widths[i] for i in range(len(row)))
+            )
+    return "\n".join(lines) + "\n"

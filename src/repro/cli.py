@@ -1,0 +1,412 @@
+"""``ermes`` — the command-line front end of the reproduction.
+
+Mirrors the workflow of the paper's prototype CAD tool: load a system,
+analyze its performance, check for deadlock, compute the optimized channel
+ordering, simulate, and run the canned experiments (the Fig. 2–4
+motivating example, the MPEG-2 case study, the scalability sweep).
+
+Examples::
+
+    ermes demo                         # the paper's motivating example
+    ermes analyze design.json          # cycle time + critical cycle
+    ermes order design.json -o ord.json
+    ermes check design.json --ordering ord.json
+    ermes simulate design.json --iterations 200
+    ermes mpeg2 --experiment m1        # Section 6 experiments
+    ermes scalability --sizes 100,1000,10000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import (
+    ChannelOrdering,
+    load_ordering,
+    load_system,
+    motivating_deadlock_ordering,
+    motivating_example,
+    motivating_suboptimal_ordering,
+    save_ordering,
+    synthetic_soc,
+)
+from repro.errors import DeadlockError, ReproError
+from repro.model import analyze_system, deadlock_cycle
+from repro.ordering import channel_ordering, declaration_ordering
+from repro.sim import simulate
+from repro.tmg import Engine
+
+
+def _load_ordering_arg(system, path: str | None) -> ChannelOrdering:
+    if path is None:
+        return declaration_ordering(system)
+    ordering = load_ordering(path)
+    ordering.validate(system)
+    return ordering
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    ordering = _load_ordering_arg(system, args.ordering)
+    performance = analyze_system(
+        system, ordering, engine=Engine(args.engine), exact=not args.float
+    )
+    print(f"system:            {system.name}")
+    print(f"cycle time:        {performance.cycle_time}")
+    print(f"throughput:        {float(performance.throughput):.6g} items/cycle")
+    print(f"critical processes: {', '.join(performance.critical_processes)}")
+    print(f"critical channels:  {', '.join(performance.critical_channels)}")
+    return 0
+
+
+def _cmd_order(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    initial = _load_ordering_arg(system, args.ordering)
+    before = None
+    try:
+        before = analyze_system(system, initial).cycle_time
+    except DeadlockError:
+        print("initial ordering deadlocks; computing a live one")
+    ordering = channel_ordering(system, initial_ordering=initial)
+    after = analyze_system(system, ordering).cycle_time
+    for process in system.process_names:
+        gets = ordering.gets_of(process)
+        puts = ordering.puts_of(process)
+        if gets or puts:
+            print(f"{process}: gets={list(gets)} puts={list(puts)}")
+    if before is not None:
+        gain = 1 - float(after) / float(before)
+        print(f"cycle time: {before} -> {after}  ({gain:+.2%})")
+    else:
+        print(f"cycle time: deadlock -> {after}")
+    if args.output:
+        save_ordering(ordering, args.output)
+        print(f"ordering written to {args.output}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    ordering = _load_ordering_arg(system, args.ordering)
+    cycle = deadlock_cycle(system, ordering)
+    if cycle is None:
+        print("deadlock-free")
+        return 0
+    print("DEADLOCK: circular wait through " + " -> ".join(cycle))
+    return 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    ordering = _load_ordering_arg(system, args.ordering)
+    result = simulate(system, ordering, iterations=args.iterations)
+    watch = system.sinks()[0].name if system.sinks() else system.process_names[0]
+    measured = result.measured_cycle_time(watch)
+    print(f"iterations:   {result.iterations[watch]} (watched: {watch})")
+    print(f"measured cycle time: {measured}")
+    predicted = analyze_system(system, ordering).cycle_time
+    print(f"predicted cycle time: {predicted}")
+    stalled = sorted(
+        result.stall_cycles.items(), key=lambda item: -item[1]
+    )[:5]
+    print("top stalls: " + ", ".join(f"{p}={c}" for p, c in stalled if c))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    system = motivating_example()
+    print(f"motivating example: {len(system.workers())} processes, "
+          f"{len(system.channels)} channels, "
+          f"{system.order_space_size()} possible orderings")
+    dead = motivating_deadlock_ordering(system)
+    print("\nListing-1 order (P2 puts b,d,f; P6 gets g,d,e):")
+    print("  " + " -> ".join(deadlock_cycle(system, dead) or ()) + "  [DEADLOCK]")
+    sub = motivating_suboptimal_ordering(system)
+    perf = analyze_system(system, sub)
+    print(f"\nhand-fixed order (P2 puts f,b,d; P6 gets e,g,d): "
+          f"cycle time {perf.cycle_time}, throughput {float(perf.throughput)}")
+    ordering = channel_ordering(system, initial_ordering=sub)
+    perf2 = analyze_system(system, ordering)
+    print(f"Algorithm 1 order (P2 puts {list(ordering.puts_of('P2'))}; "
+          f"P6 gets {list(ordering.gets_of('P6'))}): cycle time "
+          f"{perf2.cycle_time} "
+          f"({1 - float(perf2.cycle_time)/float(perf.cycle_time):.0%} better)")
+    return 0
+
+
+def _cmd_mpeg2(args: argparse.Namespace) -> int:
+    from repro.dse import SystemConfiguration, explore, iteration_table, summarize
+    from repro.mpeg2 import (
+        build_mpeg2_library,
+        build_mpeg2_system,
+        channel_latencies,
+        m1_selection,
+        m2_selection,
+    )
+
+    system = build_mpeg2_system()
+    library = build_mpeg2_library()
+
+    if args.experiment == "table1":
+        latencies = channel_latencies()
+        print(f"Processes          {len(system.workers())}")
+        print(f"Channels           "
+              f"{len(system.channels) - len(system.sources()) - len(system.sinks())}")
+        print(f"Pareto points      {library.total_points()}")
+        print(f"Image size         352x240")
+        print(f"Channel latencies  {min(latencies.values())}..{max(latencies.values())} cycles")
+        return 0
+
+    if args.experiment == "m1":
+        config = SystemConfiguration(
+            system, library, m1_selection(library), declaration_ordering(system)
+        )
+        latencies = config.process_latencies()
+        before = analyze_system(system, config.ordering, process_latencies=latencies)
+        ordering = channel_ordering(
+            system.with_process_latencies(latencies),
+            initial_ordering=config.ordering,
+        )
+        after = analyze_system(system, ordering, process_latencies=latencies)
+        gain = 1 - float(after.cycle_time) / float(before.cycle_time)
+        print(f"M1 cycle time: {float(before.cycle_time)/1000:.0f} KCycles, "
+              f"area {config.total_area()/1e6:.3f} mm2")
+        print(f"after ERMES reordering: {float(after.cycle_time)/1000:.0f} KCycles "
+              f"({gain:.1%} improvement, no area change)")
+        return 0
+
+    target = 2_000_000 if args.experiment == "fig6-left" else 4_000_000
+    config = SystemConfiguration(
+        system, library, m2_selection(library), declaration_ordering(system)
+    )
+    result = explore(config, target_cycle_time=target)
+    print(iteration_table(result, cycle_time_unit=1000, area_unit=1e6))
+    print(summarize(result))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import design_report
+
+    system = load_system(args.system)
+    ordering = _load_ordering_arg(system, args.ordering)
+    text = design_report(
+        system,
+        ordering,
+        include_sensitivity=not args.no_sensitivity,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench import format_registry
+
+    print(format_registry(), end="")
+    print("\nrun them all with:  pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def _cmd_bottlenecks(args: argparse.Namespace) -> int:
+    from repro.model import format_sensitivity, sensitivity_report
+
+    system = load_system(args.system)
+    ordering = _load_ordering_arg(system, args.ordering)
+    report = sensitivity_report(system, ordering)
+    print(format_sensitivity(report, limit=args.top))
+    hot = report.bottlenecks()
+    if hot:
+        best = hot[0]
+        print(f"speeding up {best.process!r} helps most "
+              f"(up to -{best.potential} cycles)")
+    else:
+        print("no single process limits the cycle time "
+              "(communication-bound)")
+    return 0
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    from repro.sizing import minimize_buffers
+
+    system = load_system(args.system)
+    ordering = _load_ordering_arg(system, args.ordering)
+    result = minimize_buffers(
+        system,
+        target_cycle_time=args.target,
+        ordering=ordering,
+        max_capacity=args.max_capacity,
+    )
+    status = "feasible" if result.feasible else "INFEASIBLE (floor reached)"
+    print(f"target {args.target}: {status}, achieved cycle time "
+          f"{result.cycle_time}, total slots {result.total_slots}")
+    for name in sorted(result.capacities):
+        print(f"  {name}: capacity {result.capacities[name]}")
+    return 0 if result.feasible else 1
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.core import system_to_dot
+    from repro.model import build_tmg
+    from repro.tmg import analyze, tmg_to_dot
+
+    system = load_system(args.system)
+    ordering = _load_ordering_arg(system, args.ordering)
+    if args.tmg:
+        model = build_tmg(system, ordering)
+        highlight_t: tuple[str, ...] = ()
+        highlight_p: tuple[str, ...] = ()
+        if args.critical:
+            report = analyze(model.tmg)
+            highlight_t = report.critical_cycle
+            highlight_p = report.critical_places
+        dot = tmg_to_dot(model.tmg, highlight_transitions=highlight_t,
+                         highlight_places=highlight_p)
+    else:
+        highlight_channels: tuple[str, ...] = ()
+        highlight_processes: tuple[str, ...] = ()
+        if args.critical:
+            performance = analyze_system(system, ordering)
+            highlight_channels = performance.critical_channels
+            highlight_processes = performance.critical_processes
+        dot = system_to_dot(system, ordering=ordering,
+                            highlight_channels=highlight_channels,
+                            highlight_processes=highlight_processes)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(dot)
+        print(f"written to {args.output}")
+    else:
+        print(dot, end="")
+    return 0
+
+
+def _cmd_scalability(args: argparse.Namespace) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    print(f"{'processes':>10} {'channels':>10} {'order (s)':>10} "
+          f"{'analyze (s)':>12}")
+    for size in sizes:
+        system = synthetic_soc(size, seed=args.seed)
+        start = time.perf_counter()
+        ordering = channel_ordering(system)
+        t_order = time.perf_counter() - start
+        start = time.perf_counter()
+        analyze_system(system, ordering, exact=False)
+        t_analyze = time.perf_counter() - start
+        print(f"{len(system.workers()):>10} {len(system.channels):>10} "
+              f"{t_order:>10.3f} {t_analyze:>12.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ermes",
+        description="ERMES reproduction: performance analysis, channel "
+        "ordering, and design-space exploration for communication-centric "
+        "SoCs (DAC 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="cycle time and critical cycle")
+    p.add_argument("system", help="system JSON file")
+    p.add_argument("--ordering", help="ordering JSON file")
+    p.add_argument("--engine", default="howard",
+                   choices=[e.value for e in Engine])
+    p.add_argument("--float", action="store_true",
+                   help="float arithmetic (faster on huge systems)")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("order", help="run Algorithm 1 channel ordering")
+    p.add_argument("system")
+    p.add_argument("--ordering", help="initial ordering JSON file")
+    p.add_argument("-o", "--output", help="write the ordering to this file")
+    p.set_defaults(func=_cmd_order)
+
+    p = sub.add_parser("check", help="deadlock check")
+    p.add_argument("system")
+    p.add_argument("--ordering")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("simulate", help="discrete-event simulation")
+    p.add_argument("system")
+    p.add_argument("--ordering")
+    p.add_argument("--iterations", type=int, default=100)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("demo", help="the paper's motivating example")
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("mpeg2", help="MPEG-2 case-study experiments")
+    p.add_argument(
+        "--experiment",
+        default="m1",
+        choices=["table1", "m1", "fig6-left", "fig6-right"],
+    )
+    p.set_defaults(func=_cmd_mpeg2)
+
+    p = sub.add_parser("report", help="full markdown design report")
+    p.add_argument("system")
+    p.add_argument("--ordering")
+    p.add_argument("--no-sensitivity", action="store_true",
+                   help="skip the bottleneck table (faster on huge systems)")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("experiments",
+                       help="list the paper artifacts this repo regenerates")
+    p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser("bottlenecks",
+                       help="per-process slack and speed-up potential")
+    p.add_argument("system")
+    p.add_argument("--ordering")
+    p.add_argument("--top", type=int, default=0,
+                   help="show only the N most impactful processes")
+    p.set_defaults(func=_cmd_bottlenecks)
+
+    p = sub.add_parser("size", help="size FIFO capacities for a target")
+    p.add_argument("system")
+    p.add_argument("--target", type=int, required=True,
+                   help="target cycle time")
+    p.add_argument("--ordering")
+    p.add_argument("--max-capacity", type=int, default=64)
+    p.set_defaults(func=_cmd_size)
+
+    p = sub.add_parser("dot", help="export Graphviz DOT")
+    p.add_argument("system")
+    p.add_argument("--ordering")
+    p.add_argument("--tmg", action="store_true",
+                   help="export the TMG instead of the system graph")
+    p.add_argument("--critical", action="store_true",
+                   help="highlight the critical cycle")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser("scalability", help="synthetic SoC scalability sweep")
+    p.add_argument("--sizes", default="100,1000,10000")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_scalability)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except DeadlockError as error:
+        print(f"deadlock: {error}", file=sys.stderr)
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

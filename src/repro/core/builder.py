@@ -1,0 +1,119 @@
+"""Fluent builder for :class:`~repro.core.system.SystemGraph`.
+
+The builder is sugar over ``add_process``/``add_channel`` that reads like a
+netlist.  It is the construction API used throughout the examples::
+
+    system = (
+        SystemBuilder("pipeline")
+        .source("src", latency=1)
+        .process("stage0", latency=4)
+        .process("stage1", latency=2)
+        .sink("snk", latency=1)
+        .channel("a", "src", "stage0", latency=2)
+        .channel("b", "stage0", "stage1", latency=1)
+        .channel("c", "stage1", "snk", latency=1)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.system import Channel, Process, ProcessKind, SystemGraph
+from repro.core.validation import validate_system
+
+
+class SystemBuilder:
+    """Incrementally assemble a system, then :meth:`build` it.
+
+    ``build`` validates the result by default so malformed systems fail at
+    construction time rather than deep inside analysis.
+    """
+
+    def __init__(self, name: str = "system"):
+        self._system = SystemGraph(name)
+
+    def process(self, name: str, latency: int = 1) -> "SystemBuilder":
+        """Add a worker (design) process."""
+        self._system.add_process(Process(name, latency=latency))
+        return self
+
+    def source(self, name: str, latency: int = 1) -> "SystemBuilder":
+        """Add a testbench source process (always ready to produce data)."""
+        self._system.add_process(
+            Process(name, latency=latency, kind=ProcessKind.SOURCE)
+        )
+        return self
+
+    def sink(self, name: str, latency: int = 1) -> "SystemBuilder":
+        """Add a testbench sink process (always ready to consume data)."""
+        self._system.add_process(Process(name, latency=latency, kind=ProcessKind.SINK))
+        return self
+
+    def channel(
+        self,
+        name: str,
+        producer: str,
+        consumer: str,
+        latency: int = 1,
+        capacity: int = 0,
+        initial_tokens: int = 0,
+    ) -> "SystemBuilder":
+        """Add a point-to-point channel from ``producer`` to ``consumer``."""
+        self._system.add_channel(
+            Channel(
+                name,
+                producer,
+                consumer,
+                latency=latency,
+                capacity=capacity,
+                initial_tokens=initial_tokens,
+            )
+        )
+        return self
+
+    def channels(self, *specs: tuple) -> "SystemBuilder":
+        """Add several channels from ``(name, producer, consumer, latency)``
+        tuples (latency optional, default 1)."""
+        for spec in specs:
+            self.channel(*spec)
+        return self
+
+    def build(self, validate: bool = True) -> SystemGraph:
+        """Finish construction, optionally validating the topology."""
+        if validate:
+            validate_system(self._system)
+        return self._system
+
+
+def system_from_tables(
+    name: str,
+    processes: Mapping[str, int],
+    channels: Mapping[str, tuple[str, str, int]],
+    sources: tuple[str, ...] = (),
+    sinks: tuple[str, ...] = (),
+    validate: bool = True,
+) -> SystemGraph:
+    """Build a system from plain dictionaries.
+
+    Args:
+        name: System name.
+        processes: ``process name -> computation latency``.
+        channels: ``channel name -> (producer, consumer, latency)``.
+            Insertion order defines the declaration order of ports.
+        sources: Names (among ``processes``) acting as testbench sources.
+        sinks: Names acting as testbench sinks.
+        validate: Run structural validation on the result.
+    """
+    builder = SystemBuilder(name)
+    for pname, latency in processes.items():
+        if pname in sources:
+            builder.source(pname, latency=latency)
+        elif pname in sinks:
+            builder.sink(pname, latency=latency)
+        else:
+            builder.process(pname, latency=latency)
+    for cname, (producer, consumer, latency) in channels.items():
+        builder.channel(cname, producer, consumer, latency=latency)
+    return builder.build(validate=validate)

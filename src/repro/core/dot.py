@@ -1,0 +1,74 @@
+"""Graphviz DOT export for system graphs.
+
+Purely textual (no graphviz dependency): produces a ``.dot`` document that
+renders the system topology with latency annotations and, optionally, the
+get/put statement orders of a :class:`~repro.core.system.ChannelOrdering`
+and a highlighted critical cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.system import ChannelOrdering, ProcessKind, SystemGraph
+
+_KIND_SHAPE = {
+    ProcessKind.WORKER: "box",
+    ProcessKind.SOURCE: "invhouse",
+    ProcessKind.SINK: "house",
+}
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def system_to_dot(
+    system: SystemGraph,
+    ordering: ChannelOrdering | None = None,
+    highlight_channels: Iterable[str] = (),
+    highlight_processes: Iterable[str] = (),
+) -> str:
+    """Render a system as a DOT digraph.
+
+    Args:
+        system: The system to render.
+        ordering: If given, each channel edge is annotated with its position
+            in the producer's put order and the consumer's get order, as
+            ``put#i / get#j``.
+        highlight_channels: Channel names drawn in red (e.g. a critical
+            cycle or a deadlock cycle).
+        highlight_processes: Process names drawn in red.
+    """
+    hot_channels = set(highlight_channels)
+    hot_processes = set(highlight_processes)
+    lines = [f"digraph {_quote(system.name)} {{", "  rankdir=LR;"]
+
+    for process in system.processes:
+        attrs = [
+            f"shape={_KIND_SHAPE[process.kind]}",
+            f'label="{process.name}\\nL={process.latency}"',
+        ]
+        if process.name in hot_processes:
+            attrs.append("color=red")
+            attrs.append("fontcolor=red")
+        lines.append(f"  {_quote(process.name)} [{', '.join(attrs)}];")
+
+    for channel in system.channels:
+        label = f"{channel.name} ({channel.latency})"
+        if ordering is not None:
+            put_pos = ordering.puts_of(channel.producer).index(channel.name) + 1
+            get_pos = ordering.gets_of(channel.consumer).index(channel.name) + 1
+            label += f"\\nput#{put_pos} / get#{get_pos}"
+        attrs = [f'label="{label}"']
+        if channel.name in hot_channels:
+            attrs.append("color=red")
+            attrs.append("fontcolor=red")
+        lines.append(
+            f"  {_quote(channel.producer)} -> {_quote(channel.consumer)} "
+            f"[{', '.join(attrs)}];"
+        )
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,124 @@
+"""JSON serialization for systems and channel orderings.
+
+The on-disk format is a plain JSON document, versioned so future schema
+changes stay loadable.  Declaration order of channels is preserved (it is
+semantically meaningful: it is the default statement order).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.system import (
+    Channel,
+    ChannelOrdering,
+    Process,
+    ProcessKind,
+    SystemGraph,
+)
+from repro.errors import ValidationError
+
+FORMAT_VERSION = 1
+
+
+def system_to_dict(system: SystemGraph) -> dict[str, Any]:
+    """Serialize a system to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": system.name,
+        "processes": [
+            {
+                "name": p.name,
+                "latency": p.latency,
+                "kind": p.kind.value,
+            }
+            for p in system.processes
+        ],
+        "channels": [
+            {
+                "name": c.name,
+                "producer": c.producer,
+                "consumer": c.consumer,
+                "latency": c.latency,
+                "capacity": c.capacity,
+                "initial_tokens": c.initial_tokens,
+            }
+            for c in system.channels
+        ],
+    }
+
+
+def system_from_dict(data: dict[str, Any]) -> SystemGraph:
+    """Rebuild a system from :func:`system_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported system format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    system = SystemGraph(data.get("name", "system"))
+    for p in data["processes"]:
+        system.add_process(
+            Process(
+                p["name"],
+                latency=int(p.get("latency", 1)),
+                kind=ProcessKind(p.get("kind", "worker")),
+            )
+        )
+    for c in data["channels"]:
+        system.add_channel(
+            Channel(
+                c["name"],
+                c["producer"],
+                c["consumer"],
+                latency=int(c.get("latency", 1)),
+                capacity=int(c.get("capacity", 0)),
+                initial_tokens=int(c.get("initial_tokens", 0)),
+            )
+        )
+    return system
+
+
+def ordering_to_dict(ordering: ChannelOrdering) -> dict[str, Any]:
+    """Serialize a channel ordering to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "gets": {name: list(order) for name, order in ordering.gets.items()},
+        "puts": {name: list(order) for name, order in ordering.puts.items()},
+    }
+
+
+def ordering_from_dict(data: dict[str, Any]) -> ChannelOrdering:
+    """Rebuild an ordering from :func:`ordering_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported ordering format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return ChannelOrdering(
+        gets={name: tuple(order) for name, order in data["gets"].items()},
+        puts={name: tuple(order) for name, order in data["puts"].items()},
+    )
+
+
+def save_system(system: SystemGraph, path: str | Path) -> None:
+    """Write a system to a JSON file."""
+    Path(path).write_text(json.dumps(system_to_dict(system), indent=2))
+
+
+def load_system(path: str | Path) -> SystemGraph:
+    """Read a system from a JSON file."""
+    return system_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_ordering(ordering: ChannelOrdering, path: str | Path) -> None:
+    """Write a channel ordering to a JSON file."""
+    Path(path).write_text(json.dumps(ordering_to_dict(ordering), indent=2))
+
+
+def load_ordering(path: str | Path) -> ChannelOrdering:
+    """Read a channel ordering from a JSON file."""
+    return ordering_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,97 @@
+"""Structural validation of system graphs.
+
+A system must satisfy a handful of invariants before analysis or synthesis
+is meaningful.  :func:`validate_system` checks them all and raises
+:class:`~repro.errors.ValidationError` with an actionable message on the
+first violation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.system import ProcessKind, SystemGraph
+from repro.errors import ValidationError
+
+
+def validate_system(system: SystemGraph) -> None:
+    """Check all structural invariants of ``system``.
+
+    Invariants:
+
+    * at least one worker process;
+    * sources have no input channels, sinks have no output channels;
+    * every worker process has at least one input and one output channel
+      (a worker with no inputs never synchronizes with the environment and
+      a worker with no outputs is dead code — both are almost certainly
+      specification mistakes);
+    * every process is reachable from some source and co-reachable from
+      some sink through channels (no disconnected islands), when the system
+      has sources/sinks at all.
+    """
+    if not system.workers():
+        raise ValidationError(f"system {system.name!r} has no worker processes")
+
+    for process in system.processes:
+        n_in = len(system.input_channels(process.name))
+        n_out = len(system.output_channels(process.name))
+        if process.kind is ProcessKind.SOURCE and n_in:
+            raise ValidationError(
+                f"source {process.name!r} must not have input channels "
+                f"(has {n_in})"
+            )
+        if process.kind is ProcessKind.SINK and n_out:
+            raise ValidationError(
+                f"sink {process.name!r} must not have output channels "
+                f"(has {n_out})"
+            )
+        if process.kind is ProcessKind.WORKER:
+            if n_in == 0:
+                raise ValidationError(
+                    f"worker {process.name!r} has no input channels; model "
+                    "free-running producers as testbench sources"
+                )
+            if n_out == 0:
+                raise ValidationError(
+                    f"worker {process.name!r} has no output channels; model "
+                    "pure consumers as testbench sinks"
+                )
+
+    if system.sources():
+        unreachable = _unreachable_from(
+            system, {p.name for p in system.sources()}, forward=True
+        )
+        if unreachable:
+            raise ValidationError(
+                f"processes not reachable from any source: {sorted(unreachable)}"
+            )
+    if system.sinks():
+        cannot_reach = _unreachable_from(
+            system, {p.name for p in system.sinks()}, forward=False
+        )
+        if cannot_reach:
+            raise ValidationError(
+                f"processes that cannot reach any sink: {sorted(cannot_reach)}"
+            )
+
+
+def _unreachable_from(
+    system: SystemGraph, roots: set[str], forward: bool
+) -> set[str]:
+    """Process names not reached by BFS from ``roots``.
+
+    ``forward=True`` follows channels producer→consumer; ``False`` follows
+    them in reverse (co-reachability).
+    """
+    seen = set(roots)
+    queue = deque(roots)
+    while queue:
+        current = queue.popleft()
+        neighbors = (
+            system.successors(current) if forward else system.predecessors(current)
+        )
+        for neighbor in neighbors:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return {p.name for p in system.processes} - seen

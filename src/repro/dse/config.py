@@ -1,0 +1,115 @@
+"""Design configurations: implementation selection + channel ordering.
+
+A :class:`SystemConfiguration` is one point of the design space the ERMES
+methodology explores: which Pareto implementation each process uses (hence
+its latency and area) and in which order each process touches its
+channels.  Configurations are immutable values; exploration steps derive
+new ones with :meth:`with_selection` / :meth:`with_ordering`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.errors import ConfigurationError
+from repro.hls.pareto import ImplementationLibrary
+
+
+@dataclass(frozen=True)
+class SystemConfiguration:
+    """One design point.
+
+    Attributes:
+        system: The topology (its stored process latencies serve only as
+            defaults for processes without a Pareto set — typically the
+            testbench).
+        library: Pareto sets per process.
+        selection: ``process -> implementation name`` for every process in
+            the library.
+        ordering: The channel ordering in force.
+    """
+
+    system: SystemGraph
+    library: ImplementationLibrary
+    selection: Mapping[str, str]
+    ordering: ChannelOrdering
+
+    def __post_init__(self) -> None:
+        for process in self.library.processes():
+            if process not in self.selection:
+                raise ConfigurationError(
+                    f"no implementation selected for process {process!r}"
+                )
+        for process, impl in self.selection.items():
+            self.library.of(process).by_name(impl)  # raises if unknown
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def initial(
+        system: SystemGraph,
+        library: ImplementationLibrary,
+        selection: Mapping[str, str] | None = None,
+        ordering: ChannelOrdering | None = None,
+        pick: str = "fastest",
+    ) -> "SystemConfiguration":
+        """Build a starting configuration.
+
+        Args:
+            selection: Explicit choices; unspecified processes use ``pick``.
+            ordering: Defaults to declaration order.
+            pick: ``"fastest"`` (the paper's M1-style start) or
+                ``"smallest"`` (M2-style).
+        """
+        if pick not in ("fastest", "smallest"):
+            raise ConfigurationError(f"unknown pick policy {pick!r}")
+        chosen = dict(selection or {})
+        for process in library.processes():
+            if process not in chosen:
+                pareto = library.of(process)
+                chosen[process] = (
+                    pareto.fastest.name if pick == "fastest" else pareto.smallest.name
+                )
+        return SystemConfiguration(
+            system=system,
+            library=library,
+            selection=chosen,
+            ordering=ordering or ChannelOrdering.declaration_order(system),
+        )
+
+    # ------------------------------------------------------------------
+
+    def implementation(self, process: str):
+        """The selected :class:`~repro.hls.implementation.Implementation`."""
+        return self.library.of(process).by_name(self.selection[process])
+
+    def process_latencies(self) -> dict[str, int]:
+        """Latency of every process under this selection (library processes
+        from their implementation, others from the system defaults)."""
+        latencies = self.system.process_latencies()
+        for process in self.library.processes():
+            latencies[process] = self.implementation(process).latency
+        return latencies
+
+    def total_area(self) -> float:
+        """Total area over the processes with Pareto sets."""
+        return sum(
+            self.implementation(process).area
+            for process in self.library.processes()
+        )
+
+    def with_selection(
+        self, changes: Mapping[str, str]
+    ) -> "SystemConfiguration":
+        merged = dict(self.selection)
+        merged.update(changes)
+        return replace(self, selection=merged)
+
+    def with_ordering(self, ordering: ChannelOrdering) -> "SystemConfiguration":
+        return replace(self, ordering=ordering)
+
+    def selection_key(self) -> tuple[tuple[str, str], ...]:
+        """Hashable identity of the selection (for visited-set cuts)."""
+        return tuple(sorted(self.selection.items()))

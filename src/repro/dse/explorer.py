@@ -1,0 +1,298 @@
+"""The ERMES exploration loop (Fig. 5).
+
+Each iteration:
+
+1. **System-level performance analysis** — build the TMG of the current
+   configuration and compute the cycle time and critical cycle (Howard).
+2. **IP optimization** — compute the slack ``sp = TCT − CT``; run *area
+   recovery* when the constraint is met (``sp > 0``) or *timing
+   optimization* otherwise, as ILPs over the Pareto sets, excluding
+   already-visited selections via no-good cuts.
+3. **Channel reordering** — rerun Algorithm 1 under the new process
+   latencies ("as it generates a new implementation, the algorithm for
+   channel reordering optimizes the performance").
+
+The loop stops when an iteration changes neither the selection nor the
+ordering, when the ILP is infeasible, or at ``max_iterations``.  The full
+trajectory is recorded so the Fig. 6 exploration plots can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Union
+
+from repro.core.system import ChannelOrdering
+from repro.dse.config import SystemConfiguration
+from repro.dse.problems import (
+    area_recovery_problem,
+    process_latency_caps,
+    timing_optimization_problem,
+)
+from repro.errors import DeadlockError, InfeasibleError
+from repro.ilp import branch_bound
+from repro.model.performance import SystemPerformance, analyze_system
+from repro.ordering.algorithm import channel_ordering
+
+Number = Union[Fraction, float]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One row of an exploration trajectory (one Fig. 6 point)."""
+
+    iteration: int
+    action: str  # "start" | "timing_optimization" | "area_recovery" | "none"
+    cycle_time: Number
+    area: float
+    slack: Number
+    meets_target: bool
+    critical_processes: tuple[str, ...]
+    selection_changes: tuple[tuple[str, str], ...]  # (process, new impl)
+    reordered_processes: tuple[str, ...]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one ERMES run.
+
+    ``final`` is the configuration the tool returns: the best *feasible*
+    one visited (meets the target cycle time, smallest area, then smallest
+    CT), falling back to the last configuration when the target was never
+    met.  ``history`` records the whole trajectory (the Fig. 6 series),
+    including the iterations that overshoot or violate.
+    """
+
+    target_cycle_time: Number
+    history: list[IterationRecord] = field(default_factory=list)
+    final: SystemConfiguration | None = None
+    final_index: int = -1
+    stop_reason: str = ""
+
+    @property
+    def initial_record(self) -> IterationRecord:
+        return self.history[0]
+
+    @property
+    def final_record(self) -> IterationRecord:
+        return self.history[self.final_index]
+
+    @property
+    def speedup(self) -> float:
+        """Initial CT over final CT."""
+        return float(self.initial_record.cycle_time) / float(
+            self.final_record.cycle_time
+        )
+
+    @property
+    def area_change(self) -> float:
+        """Relative area change, final vs initial (positive = overhead)."""
+        initial = self.initial_record.area
+        if initial == 0:
+            return 0.0
+        return (self.final_record.area - initial) / initial
+
+
+class Explorer:
+    """ERMES: iterative co-optimization of IP selection and channel order.
+
+    Args:
+        target_cycle_time: The designer's TCT constraint.
+        max_iterations: Upper bound on optimization iterations.
+        reorder: Rerun Algorithm 1 after each selection change (the paper's
+            behaviour).  Disable to ablate the contribution of reordering.
+        timing_area_budget: Optional area-increase cap per timing step
+            (activates the dual formulation with area recovered from
+            off-cycle processes).
+        engine_exact: Exact rational arithmetic in the analysis engine.
+    """
+
+    def __init__(
+        self,
+        target_cycle_time: Number,
+        max_iterations: int = 16,
+        reorder: bool = True,
+        timing_area_budget: float | None = None,
+        engine_exact: bool = True,
+    ):
+        self.target_cycle_time = target_cycle_time
+        self.max_iterations = max_iterations
+        self.reorder = reorder
+        self.timing_area_budget = timing_area_budget
+        self.engine_exact = engine_exact
+
+    # ------------------------------------------------------------------
+
+    def run(self, config: SystemConfiguration) -> ExplorationResult:
+        """Explore from ``config`` until convergence."""
+        result = ExplorationResult(target_cycle_time=self.target_cycle_time)
+        visited: set[tuple[tuple[str, str], ...]] = {config.selection_key()}
+        caps = process_latency_caps(config, float(self.target_cycle_time))
+        incumbent: tuple[float, float, int, SystemConfiguration] | None = None
+        fastest: tuple[float, float, int, SystemConfiguration] | None = None
+
+        def consider(record: IterationRecord, cfg: SystemConfiguration) -> None:
+            nonlocal incumbent, fastest
+            speed_key = (float(record.cycle_time), record.area)
+            if fastest is None or speed_key < fastest[:2]:
+                fastest = (speed_key[0], speed_key[1], record.iteration, cfg)
+            if not record.meets_target:
+                return
+            key = (record.area, float(record.cycle_time), record.iteration)
+            if incumbent is None or key[:2] < incumbent[:2]:
+                incumbent = (key[0], key[1], record.iteration, cfg)
+
+        performance = self._analyze(config)
+        start_record = self._record(0, "start", config, performance, (), ())
+        result.history.append(start_record)
+        consider(start_record, config)
+
+        for iteration in range(1, self.max_iterations + 1):
+            slack = self.target_cycle_time - performance.cycle_time
+            critical = performance.critical_processes
+
+            if slack > 0:
+                problem = area_recovery_problem(
+                    config, critical, float(slack), latency_caps=caps
+                )
+                action = "area_recovery"
+            else:
+                problem = timing_optimization_problem(
+                    config,
+                    critical,
+                    area_budget=self.timing_area_budget,
+                    latency_caps=caps,
+                )
+                action = "timing_optimization"
+
+            try:
+                solution = branch_bound.solve(problem)
+            except InfeasibleError:
+                result.stop_reason = f"{action} infeasible"
+                break
+
+            changes = self._diff(config, solution.selection)
+            candidate = config.with_selection(changes)
+
+            if changes and candidate.selection_key() in visited:
+                # The optimum revisits an explored configuration: re-solve
+                # with no-good cuts over everything already optimized (the
+                # paper's "constraints to discard the configurations
+                # already optimized").
+                group_names = [g.name for g in problem.groups]
+                for key in visited:
+                    full = dict(key)
+                    problem.forbid({name: full[name] for name in group_names})
+                try:
+                    solution = branch_bound.solve(problem)
+                except InfeasibleError:
+                    result.stop_reason = "all candidate configurations visited"
+                    break
+                changes = self._diff(config, solution.selection)
+                candidate = config.with_selection(changes)
+                if changes and candidate.selection_key() in visited:
+                    result.stop_reason = "exploration cycled"
+                    break
+
+            reordered: tuple[str, ...] = ()
+            if self.reorder:
+                new_ordering = self._reorder(candidate)
+                reordered = new_ordering.differs_from(candidate.ordering)
+                if reordered:
+                    candidate = candidate.with_ordering(new_ordering)
+
+            if not changes and not reordered:
+                result.history.append(
+                    self._record(iteration, "none", config, performance, (), ())
+                )
+                result.stop_reason = "converged (no applicable changes)"
+                break
+
+            visited.add(candidate.selection_key())
+            config = candidate
+            performance = self._analyze(config)
+            record = self._record(
+                iteration,
+                action,
+                config,
+                performance,
+                tuple(sorted(changes.items())),
+                reordered,
+            )
+            result.history.append(record)
+            consider(record, config)
+        else:
+            result.stop_reason = "iteration limit reached"
+
+        if incumbent is not None:
+            result.final = incumbent[3]
+            result.final_index = incumbent[2]
+        elif fastest is not None:
+            # The target was never met: return the fastest configuration
+            # seen (the closest approach), not whatever the loop ended on.
+            result.final = fastest[3]
+            result.final_index = fastest[2]
+        else:
+            result.final = config
+            result.final_index = len(result.history) - 1
+        return result
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _diff(config: SystemConfiguration, selection) -> dict[str, str]:
+        return {
+            process: impl
+            for process, impl in selection.items()
+            if config.selection[process] != impl
+        }
+
+    def _analyze(self, config: SystemConfiguration) -> SystemPerformance:
+        return analyze_system(
+            config.system,
+            config.ordering,
+            process_latencies=config.process_latencies(),
+            exact=self.engine_exact,
+        )
+
+    def _reorder(self, config: SystemConfiguration) -> ChannelOrdering:
+        system = config.system.with_process_latencies(config.process_latencies())
+        try:
+            return channel_ordering(system, initial_ordering=config.ordering)
+        except DeadlockError:
+            # Structurally dead systems were rejected earlier; a failure
+            # here means the topology lacks sources/sinks for the
+            # traversal, so keep the current (valid) ordering.
+            return config.ordering
+
+    def _record(
+        self,
+        iteration: int,
+        action: str,
+        config: SystemConfiguration,
+        performance: SystemPerformance,
+        changes: tuple[tuple[str, str], ...],
+        reordered: tuple[str, ...],
+    ) -> IterationRecord:
+        ct = performance.cycle_time
+        return IterationRecord(
+            iteration=iteration,
+            action=action,
+            cycle_time=ct,
+            area=config.total_area(),
+            slack=self.target_cycle_time - ct,
+            meets_target=ct <= self.target_cycle_time,
+            critical_processes=performance.critical_processes,
+            selection_changes=changes,
+            reordered_processes=reordered,
+        )
+
+
+def explore(
+    config: SystemConfiguration,
+    target_cycle_time: Number,
+    **kwargs,
+) -> ExplorationResult:
+    """One-call convenience wrapper around :class:`Explorer`."""
+    return Explorer(target_cycle_time, **kwargs).run(config)

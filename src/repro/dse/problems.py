@@ -1,0 +1,175 @@
+"""The two ILP formulations of Section 5.
+
+Given the performance slack ``sp = TCT − CT``:
+
+* **Area recovery** (``sp > 0``): choose implementations maximizing the
+  cumulative area gain ``Σ x_{i,p}·a_{i,p}`` subject to
+  ``Σ x_{i,p}·(−l_{i,p}) ≤ sp`` over the processes on the critical cycle —
+  i.e. the critical cycle may slow down by at most the slack.  Every
+  process is a candidate for shrinking; only critical-cycle processes are
+  latency-constrained (slowing others can surface a *new* critical cycle,
+  which is precisely the violation/recovery dynamic of Fig. 6 and is
+  handled by the next iterations).
+* **Timing optimization** (``sp <= 0``): choose implementations for the
+  critical-cycle processes maximizing the cumulative latency gain
+  ``Σ x_{i,p}·l_{i,p}``.  The optional ``area_budget`` activates the dual
+  form the paper omits for space: all processes become candidates and the
+  net area increase is capped, which lets the solver pay for speed on the
+  critical cycle with area recovered elsewhere.
+
+Latency/area gains are computed against the *current* selection, matching
+the paper's definition ("the differences introduced by selecting
+implementation i instead of the current one").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.dse.config import SystemConfiguration
+from repro.ilp.model import Choice, MultiChoiceProblem
+
+#: Constraint names used by the formulations.
+LATENCY_BUDGET = "latency_loss"
+AREA_BUDGET = "area_increase"
+
+
+def _choices_for(
+    config: SystemConfiguration,
+    process: str,
+    latency_constrained: bool,
+    objective: str,
+    latency_cap: int | None = None,
+) -> list[Choice]:
+    """Build the choice list of one process group.
+
+    ``objective`` is ``"area"`` (area gain) or ``"latency"`` (latency
+    gain); the complementary quantity goes into constraint uses.
+    ``latency_cap`` drops implementations whose latency would push the
+    process's own serial cycle past the target cycle time (the current
+    implementation is always kept so the group stays feasible).
+    """
+    current = config.implementation(process)
+    choices = []
+    for impl in config.library.of(process):
+        if (
+            latency_cap is not None
+            and impl.latency > latency_cap
+            and impl.name != current.name
+        ):
+            continue
+        l_gain = current.latency - impl.latency
+        a_gain = current.area - impl.area
+        uses: dict[str, float] = {}
+        if latency_constrained:
+            uses[LATENCY_BUDGET] = float(-l_gain)  # latency *loss*
+        uses[AREA_BUDGET] = float(-a_gain)  # area *increase*
+        choices.append(
+            Choice(
+                name=impl.name,
+                objective=float(a_gain if objective == "area" else l_gain),
+                uses=uses,
+            )
+        )
+    return choices
+
+
+def area_recovery_problem(
+    config: SystemConfiguration,
+    critical_processes: Iterable[str],
+    slack: float,
+    latency_caps: Mapping[str, int] | None = None,
+) -> MultiChoiceProblem:
+    """Maximize area gain, keeping the critical cycle within the slack.
+
+    ``latency_caps`` optionally bounds each process's candidate latency
+    (see :func:`process_latency_caps`), implementing the "maintaining
+    CT < TCT" side of the problem statement for the cycles the coupling
+    constraint does not see.
+    """
+    critical = {p for p in critical_processes if config.library.has(p)}
+    caps = latency_caps or {}
+    problem = MultiChoiceProblem(maximize=True)
+    problem.add_constraint(LATENCY_BUDGET, "<=", float(slack))
+    for process in config.library.processes():
+        problem.add_group(
+            process,
+            _choices_for(
+                config,
+                process,
+                latency_constrained=process in critical,
+                objective="area",
+                latency_cap=caps.get(process),
+            ),
+        )
+    return problem
+
+
+def process_latency_caps(
+    config: SystemConfiguration, target_cycle_time: float
+) -> dict[str, int]:
+    """Largest admissible latency per process under the target cycle time.
+
+    Every process ``p`` induces the serial cycle *gets → compute → puts* in
+    the TMG, carrying one token, so the system cycle time is at least
+    ``latency(p) + Σ latencies of p's channels``.  Any implementation
+    pushing that bound past the target can never appear in a configuration
+    meeting it — dropping such choices up front keeps area recovery from
+    wandering into hopeless regions (inter-process cycles can still cause
+    the occasional, small violation the Fig. 6 narrative shows).
+    """
+    caps: dict[str, int] = {}
+    system = config.system
+    for process in config.library.processes():
+        io_latency = sum(
+            system.channel(c).latency
+            for c in (
+                system.input_channels(process) + system.output_channels(process)
+            )
+        )
+        caps[process] = max(0, int(target_cycle_time) - io_latency)
+    return caps
+
+
+def timing_optimization_problem(
+    config: SystemConfiguration,
+    critical_processes: Iterable[str],
+    area_budget: float | None = None,
+    latency_caps: Mapping[str, int] | None = None,
+) -> MultiChoiceProblem:
+    """Maximize the latency gain of the critical-cycle processes.
+
+    Without ``area_budget``, only critical-cycle processes are decision
+    groups (others keep their current implementation).  With a budget, all
+    processes participate and the net area increase is capped.
+    """
+    critical = [p for p in critical_processes if config.library.has(p)]
+    caps = latency_caps or {}
+    problem = MultiChoiceProblem(maximize=True)
+    if area_budget is not None:
+        problem.add_constraint(AREA_BUDGET, "<=", float(area_budget))
+        groups = list(config.library.processes())
+    else:
+        groups = critical
+    critical_set = set(critical)
+    for process in groups:
+        choices = _choices_for(
+            config,
+            process,
+            latency_constrained=False,
+            objective="latency",
+            latency_cap=caps.get(process),
+        )
+        if process not in critical_set:
+            # Off-cycle latency changes do not help the objective; their
+            # role is purely to free area.  Zero their objective (with a
+            # tiny preference for keeping the current implementation so
+            # the solver does not churn them gratuitously) — they move
+            # only when the area budget requires it.
+            current = config.selection[process]
+            choices = [
+                Choice(c.name, 0.0 if c.name == current else -1e-6, c.uses)
+                for c in choices
+            ]
+        problem.add_group(process, choices)
+    return problem

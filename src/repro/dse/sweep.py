@@ -1,0 +1,101 @@
+"""Target sweeps: system-level Pareto frontiers out of ERMES runs.
+
+Section 6 positions ERMES as enabling "richer design-space explorations".
+One natural richer exploration is sweeping the target cycle time over a
+range and collecting the best feasible configuration per target — yielding
+the system-level latency/area Pareto frontier the compositional flow of
+Liu & Carloni produces, but with reordering in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence, Union
+
+from repro.dse.config import SystemConfiguration
+from repro.dse.explorer import ExplorationResult, Explorer
+
+Number = Union[Fraction, float]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One target's outcome in a sweep."""
+
+    target_cycle_time: Number
+    cycle_time: Number
+    area: float
+    feasible: bool
+    iterations: int
+    result: ExplorationResult
+
+
+def sweep_targets(
+    config: SystemConfiguration,
+    targets: Sequence[Number],
+    **explorer_kwargs,
+) -> list[SweepPoint]:
+    """Run one exploration per target cycle time (descending order).
+
+    Each exploration starts from the *previous* target's final
+    configuration, mirroring how a designer tightens constraints
+    incrementally; this also warm-starts the search.
+    """
+    points: list[SweepPoint] = []
+    current = config
+    for target in sorted(targets, reverse=True):
+        result = Explorer(target_cycle_time=target, **explorer_kwargs).run(
+            current
+        )
+        record = result.final_record
+        points.append(
+            SweepPoint(
+                target_cycle_time=target,
+                cycle_time=record.cycle_time,
+                area=record.area,
+                feasible=record.meets_target,
+                iterations=len(result.history) - 1,
+                result=result,
+            )
+        )
+        if result.final is not None:
+            current = result.final
+    return points
+
+
+def pareto_points(points: Iterable[SweepPoint]) -> list[SweepPoint]:
+    """The non-dominated (cycle time, area) subset of a sweep's feasible
+    outcomes, sorted by ascending cycle time."""
+    feasible = sorted(
+        (p for p in points if p.feasible),
+        key=lambda p: (float(p.cycle_time), p.area),
+    )
+    frontier: list[SweepPoint] = []
+    best_area = float("inf")
+    for point in feasible:
+        if point.area < best_area:
+            if frontier and float(frontier[-1].cycle_time) == float(
+                point.cycle_time
+            ):
+                continue
+            frontier.append(point)
+            best_area = point.area
+    return frontier
+
+
+def sweep_table(points: Iterable[SweepPoint], area_unit: float = 1.0,
+                cycle_time_unit: float = 1.0) -> str:
+    """Fixed-width rendering of a sweep."""
+    lines = [
+        f"{'target':>12} {'achieved':>12} {'area':>12} "
+        f"{'feasible':>8} {'iters':>6}"
+    ]
+    for p in points:
+        lines.append(
+            f"{float(p.target_cycle_time) / cycle_time_unit:>12.1f} "
+            f"{float(p.cycle_time) / cycle_time_unit:>12.1f} "
+            f"{p.area / area_unit:>12.3f} "
+            f"{str(p.feasible):>8} {p.iterations:>6}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ERMES reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at tool boundaries (CLI, explorer
+loops) while tests can assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError):
+    """A system model violates a structural invariant.
+
+    Examples: a channel whose endpoints are not registered processes, a
+    process whose port order is not a permutation of its channels, or a
+    testbench declaration that does not match the graph topology.
+    """
+
+
+class DeadlockError(ReproError):
+    """A configuration is dead: some dependency cycle can never make progress.
+
+    Carries the offending cycle when known, as a list of element names
+    (process/channel names for system-level deadlocks, place/transition
+    names for TMG-level ones).
+    """
+
+    def __init__(self, message: str, cycle: list[str] | None = None):
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle is not None else None
+
+
+class NotLiveError(DeadlockError):
+    """A Timed Marked Graph contains a token-free cycle (Definition 3 with
+    ``M0(c) = 0``), i.e. its cycle time is infinite."""
+
+
+class InfeasibleError(ReproError):
+    """An optimization problem (ILP, knapsack) has no feasible solution."""
+
+
+class UnboundedError(ReproError):
+    """An optimization problem is unbounded (should not occur in the
+    formulations of Section 5; raised defensively by the generic solver)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SimulationDeadlock(DeadlockError, SimulationError):
+    """Runtime deadlock observed by the simulator: every process is blocked
+    on a rendezvous and no event is pending.
+
+    Carries the wait-for cycle of process names diagnosed at the time of
+    the deadlock, when one exists.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An inconsistent design configuration, e.g. selecting an
+    implementation for a process that does not exist in its Pareto set."""

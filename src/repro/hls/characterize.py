@@ -1,0 +1,70 @@
+"""Channel latency characterization.
+
+Section 6: "We performed the characterization of the channel latencies
+based on the quantity of the data to be transferred and the physical
+constraints imposed by the HLS tool for the channels.  These latencies
+range from 1 to 5,280 clock cycles and do not depend on channel ordering
+or the process implementations."
+
+A data item (e.g. a frame, a macroblock, a coefficient block) is
+decomposed into packets moved at the channel's physical rate; the
+*minimum* latency to complete one logical transfer is the packet count
+(footnote 4 of the paper).  For the MPEG-2 image size the paper's maximum,
+5,280 cycles, is exactly one 352×240 luma frame moved 16 pixels per cycle
+— the calibration this module defaults to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ChannelPhysics:
+    """Physical constraints the HLS tool imposes on a channel.
+
+    Attributes:
+        elements_per_cycle: Data elements (pixels, coefficients, bytes...)
+            the channel moves per clock cycle.
+        setup_cycles: Fixed handshake overhead per logical transfer.
+    """
+
+    elements_per_cycle: int = 16
+    setup_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.elements_per_cycle < 1:
+            raise ValidationError("elements_per_cycle must be >= 1")
+        if self.setup_cycles < 0:
+            raise ValidationError("setup_cycles must be >= 0")
+
+
+def transfer_latency(
+    elements: int, physics: ChannelPhysics | None = None
+) -> int:
+    """Minimum cycles to complete one logical transfer of ``elements``
+    data elements (at least 1 even for empty control tokens)."""
+    if elements < 0:
+        raise ValidationError("elements must be >= 0")
+    physics = physics or ChannelPhysics()
+    packets = math.ceil(elements / physics.elements_per_cycle)
+    return max(1, physics.setup_cycles + packets)
+
+
+# Convenience volumes for the MPEG-2 case study at 352x240 (SIF).
+FRAME_WIDTH = 352
+FRAME_HEIGHT = 240
+LUMA_FRAME_ELEMENTS = FRAME_WIDTH * FRAME_HEIGHT  # 84,480 pixels
+CHROMA_FRAME_ELEMENTS = LUMA_FRAME_ELEMENTS // 4  # 4:2:0 per chroma plane
+MACROBLOCK_ELEMENTS = 16 * 16  # one luma macroblock
+BLOCK_ELEMENTS = 8 * 8  # one coefficient block
+MOTION_VECTOR_ELEMENTS = 2  # (dx, dy)
+
+
+def frame_latency(physics: ChannelPhysics | None = None) -> int:
+    """Latency of a full luma frame transfer (the paper's 5,280 maximum
+    with the default 16 elements/cycle)."""
+    return transfer_latency(LUMA_FRAME_ELEMENTS, physics)

@@ -1,0 +1,135 @@
+"""HLS knob model: generating latency/area design points.
+
+The paper derives alternative micro-architectures per process by sweeping
+HLS knobs — "loop unrolling, loop pipelining, resource sharing, etc." —
+and keeps the Pareto-optimal ones.  Without a commercial HLS tool, this
+module provides a calibrated synthetic equivalent: a multiplicative
+performance/cost model over knob settings that produces realistic convex
+frontiers (speedups with diminishing returns, super-linear area for
+aggressive parallelism), deterministic for a given seed.
+
+The absolute numbers are synthetic; what matters for the methodology is
+the *structure* of the frontier (monotone latency/area trade-off, a few to
+a dozen points per process), which this model reproduces.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hls.implementation import Implementation
+from repro.hls.pareto import ParetoSet, pareto_filter
+
+
+@dataclass(frozen=True)
+class KnobSpace:
+    """The knob settings swept for one process.
+
+    Attributes:
+        unroll_factors: Loop unrolling factors (1 = off).
+        pipeline: Loop pipelining initiation intervals; ``0`` disables
+            pipelining, smaller positive II is faster and larger.
+        sharing_levels: Resource-sharing aggressiveness (0 = none — fast
+            and large; higher levels shrink area but serialize operators).
+    """
+
+    unroll_factors: Sequence[int] = (1, 2, 4, 8)
+    pipeline: Sequence[int] = (0, 2, 1)
+    sharing_levels: Sequence[int] = (0, 1, 2)
+
+
+# Calibration of the synthetic cost model.
+_UNROLL_SPEEDUP_EXP = 0.85  # speedup = u ** exp (sub-linear)
+_UNROLL_AREA_EXP = 0.72  # area multiplier = u ** exp
+_PIPELINE_SPEEDUP = {0: 1.0, 1: 2.4, 2: 1.7}
+_PIPELINE_AREA = {0: 1.0, 1: 1.55, 2: 1.25}
+_SHARING_SLOWDOWN = {0: 1.0, 1: 1.2, 2: 1.45}
+_SHARING_AREA = {0: 1.0, 1: 0.78, 2: 0.62}
+
+
+def synthesize_points(
+    process: str,
+    base_latency: int,
+    base_area: float,
+    knobs: KnobSpace | None = None,
+    seed: int = 0,
+    jitter: float = 0.05,
+) -> list[Implementation]:
+    """Generate the design points of one process across a knob space.
+
+    ``base_latency``/``base_area`` describe the un-optimized
+    implementation (no unrolling, no pipelining, no sharing).  A small
+    deterministic jitter decorrelates processes so frontiers are not all
+    scalar multiples of each other.
+    """
+    knobs = knobs or KnobSpace()
+    rng = random.Random((hash(process) ^ seed) & 0xFFFFFFFF)
+    points = []
+    index = 0
+    for unroll in knobs.unroll_factors:
+        for pipeline in knobs.pipeline:
+            for sharing in knobs.sharing_levels:
+                speedup = (
+                    unroll**_UNROLL_SPEEDUP_EXP
+                    * _PIPELINE_SPEEDUP[pipeline]
+                    / _SHARING_SLOWDOWN[sharing]
+                )
+                area_mult = (
+                    unroll**_UNROLL_AREA_EXP
+                    * _PIPELINE_AREA[pipeline]
+                    * _SHARING_AREA[sharing]
+                )
+                noise = 1.0 + rng.uniform(-jitter, jitter)
+                latency = max(1, round(base_latency / speedup * noise))
+                area = base_area * area_mult * (2.0 - noise)
+                points.append(
+                    Implementation(
+                        name=f"{process}.v{index}",
+                        latency=latency,
+                        area=round(area, 2),
+                        knobs={
+                            "unroll": unroll,
+                            "pipeline_ii": pipeline,
+                            "sharing": sharing,
+                        },
+                    )
+                )
+                index += 1
+    return points
+
+
+def synthesize_pareto_set(
+    process: str,
+    base_latency: int,
+    base_area: float,
+    knobs: KnobSpace | None = None,
+    seed: int = 0,
+    max_points: int | None = None,
+) -> ParetoSet:
+    """Generate and Pareto-filter the implementation set of one process.
+
+    ``max_points`` optionally thins the frontier to its ``n`` most spread
+    points (always keeping the fastest and the smallest), modelling design
+    teams that characterize only a handful of alternatives.
+    """
+    points = pareto_filter(
+        synthesize_points(process, base_latency, base_area, knobs, seed)
+    )
+    if max_points is not None and len(points) > max_points >= 2:
+        # Keep endpoints, subsample the middle evenly (dedup by name: the
+        # floor-stepped indices can repeat when the middle is short).
+        chosen = [points[0]]
+        middle = points[1:-1]
+        need = max_points - 2
+        if need > 0 and middle:
+            step = len(middle) / need
+            for i in range(need):
+                candidate = middle[min(len(middle) - 1, math.floor(i * step))]
+                if candidate.name != chosen[-1].name:
+                    chosen.append(candidate)
+        chosen.append(points[-1])
+        points = pareto_filter(chosen)
+    return ParetoSet.from_points(process, points, filter_dominated=False)

@@ -1,0 +1,147 @@
+"""Pareto sets of implementations per process.
+
+A :class:`ParetoSet` holds the latency/area frontier of one process.  The
+methodology assumes frontiers are Pareto-optimal ("since the
+implementations are Pareto optimal, moving towards a positive area gain
+corresponds to a negative latency gain and vice versa"), so construction
+filters dominated points and sorts by latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.hls.implementation import Implementation
+
+
+def pareto_filter(points: Iterable[Implementation]) -> list[Implementation]:
+    """Keep only non-dominated implementations, sorted by ascending latency.
+
+    Ties on both axes keep the first-seen point (stable); among equal
+    latencies only the smallest area survives.
+    """
+    by_latency = sorted(points, key=lambda i: (i.latency, i.area))
+    frontier: list[Implementation] = []
+    best_area = float("inf")
+    for point in by_latency:
+        if point.area < best_area:
+            # Equal-latency, larger-area points are dominated; equal-area,
+            # larger-latency points too (list is latency-sorted).
+            if frontier and frontier[-1].latency == point.latency:
+                continue
+            frontier.append(point)
+            best_area = point.area
+    return frontier
+
+
+@dataclass(frozen=True)
+class ParetoSet:
+    """The Pareto-optimal implementations of one process.
+
+    Points are stored by ascending latency, hence descending area: index 0
+    is the fastest/largest point, index -1 the slowest/smallest.
+    """
+
+    process: str
+    points: tuple[Implementation, ...]
+
+    @staticmethod
+    def from_points(
+        process: str, points: Iterable[Implementation], filter_dominated: bool = True
+    ) -> "ParetoSet":
+        candidates = list(points)
+        if not candidates:
+            raise ValidationError(f"process {process!r}: empty implementation set")
+        names = [p.name for p in candidates]
+        if len(set(names)) != len(names):
+            raise ValidationError(
+                f"process {process!r}: duplicate implementation names"
+            )
+        if filter_dominated:
+            candidates = pareto_filter(candidates)
+        else:
+            candidates = sorted(candidates, key=lambda i: (i.latency, i.area))
+            for earlier, later in zip(candidates, candidates[1:]):
+                if earlier.dominates(later) or later.dominates(earlier):
+                    raise ValidationError(
+                        f"process {process!r}: points {earlier.name!r} and "
+                        f"{later.name!r} are not Pareto-independent"
+                    )
+        return ParetoSet(process=process, points=tuple(candidates))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Implementation]:
+        return iter(self.points)
+
+    def by_name(self, name: str) -> Implementation:
+        for point in self.points:
+            if point.name == name:
+                return point
+        raise ConfigurationError(
+            f"process {self.process!r} has no implementation {name!r}"
+        )
+
+    @property
+    def fastest(self) -> Implementation:
+        return self.points[0]
+
+    @property
+    def smallest(self) -> Implementation:
+        return self.points[-1]
+
+    def faster_than(self, latency: int) -> tuple[Implementation, ...]:
+        """Points strictly faster than ``latency``."""
+        return tuple(p for p in self.points if p.latency < latency)
+
+    def at_most_area(self, area: float) -> tuple[Implementation, ...]:
+        """Points with area at most ``area``."""
+        return tuple(p for p in self.points if p.area <= area)
+
+
+class ImplementationLibrary:
+    """The Pareto sets of every process in a system.
+
+    The library is the "Pareto-optimal Implementations" input of Fig. 5,
+    produced by the compositional HLS pre-characterization (Liu & Carloni
+    in the paper; :mod:`repro.hls.knobs` here).
+    """
+
+    def __init__(self, sets: Iterable[ParetoSet] = ()):
+        self._sets: dict[str, ParetoSet] = {}
+        for pareto in sets:
+            self.add(pareto)
+
+    def add(self, pareto: ParetoSet) -> None:
+        if pareto.process in self._sets:
+            raise ValidationError(
+                f"duplicate Pareto set for process {pareto.process!r}"
+            )
+        self._sets[pareto.process] = pareto
+
+    def processes(self) -> tuple[str, ...]:
+        return tuple(self._sets)
+
+    def of(self, process: str) -> ParetoSet:
+        try:
+            return self._sets[process]
+        except KeyError:
+            raise ConfigurationError(
+                f"no Pareto set for process {process!r}"
+            ) from None
+
+    def has(self, process: str) -> bool:
+        return process in self._sets
+
+    def total_points(self) -> int:
+        """Total Pareto points across processes (Table 1 reports 171)."""
+        return sum(len(s) for s in self._sets.values())
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __iter__(self) -> Iterator[ParetoSet]:
+        return iter(self._sets.values())

@@ -1,0 +1,58 @@
+"""Section 3 performance-model construction: system → Timed Marked Graph.
+
+``build_tmg`` implements the paper's blocking-protocol model;
+``build_nonblocking_tmg`` the FIFO extension from the companion technical
+report; ``analyze_system`` is the one-call façade used by the methodology.
+"""
+
+from repro.model.build import (
+    CHANNEL_PREFIX,
+    PROCESS_PREFIX,
+    SystemTmg,
+    build_tmg,
+    channel_transition,
+    process_transition,
+    statement_place,
+)
+from repro.model.nonblocking import (
+    build_nonblocking_tmg,
+    get_transition,
+    put_transition,
+)
+from repro.model.performance import (
+    SystemPerformance,
+    analyze_system,
+    deadlock_cycle,
+    is_deadlock_free,
+)
+from repro.model.sensitivity import (
+    ChannelSensitivity,
+    ProcessSensitivity,
+    SensitivityReport,
+    channel_sensitivity_report,
+    format_sensitivity,
+    sensitivity_report,
+)
+
+__all__ = [
+    "CHANNEL_PREFIX",
+    "ChannelSensitivity",
+    "PROCESS_PREFIX",
+    "ProcessSensitivity",
+    "SensitivityReport",
+    "SystemPerformance",
+    "SystemTmg",
+    "analyze_system",
+    "build_nonblocking_tmg",
+    "build_tmg",
+    "channel_sensitivity_report",
+    "channel_transition",
+    "deadlock_cycle",
+    "format_sensitivity",
+    "get_transition",
+    "is_deadlock_free",
+    "sensitivity_report",
+    "process_transition",
+    "put_transition",
+    "statement_place",
+]

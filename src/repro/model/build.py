@@ -1,0 +1,231 @@
+"""Section 3: building the TMG performance model of a system.
+
+The construction mirrors the paper's model for blocking primitives:
+
+* the **computation phase** of each process is a single place feeding a
+  transition whose delay is the process's micro-architecture latency;
+* each **channel** is one transition whose delay is the channel's minimum
+  transfer latency, fed by two places — the *put-place* inside the
+  producer's chain and the *get-place* inside the consumer's chain;
+* the **serial nature** of a process becomes a cyclic chain: the transition
+  of each statement produces into the place of the next statement, and the
+  first read follows the last write (Fig. 3);
+* the **initial marking** places one token in the first get-place of every
+  process that reads, and one token in the first put-place of every
+  testbench source (an environment always ready to provide data).
+
+**Buffered and pre-loaded channels.** A channel with ``capacity > 0`` is
+a FIFO rather than a rendezvous, and a channel with ``initial_tokens > 0``
+(e.g. an initialized frame store that makes a feedback loop live) cannot
+be a pure rendezvous either: its first transfers complete without the
+producer having computed anything, so it necessarily buffers.  Both are
+modelled with the split FIFO structure — a *put transition* (delay =
+transfer latency) and a zero-delay *get transition* joined by a data place
+holding the pre-loaded tokens and a credit place holding the free slots
+(``max(capacity, initial_tokens) − initial_tokens``).  Placing the initial
+tokens on the producer's put-place instead would be wrong: it would put two
+tokens in circulation on the producer's serial chain, modelling a process
+that overlaps its own iterations.
+
+Names are systematic so analyses can be mapped back to the system:
+transition ``ch:a`` is channel ``a`` (``ch:a.put``/``ch:a.get`` for
+buffered channels), transition ``proc:P2`` is the computation of ``P2``,
+place ``P2/put:b`` is P2's put statement on ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.system import ChannelOrdering, ProcessKind, SystemGraph
+from repro.errors import ValidationError
+from repro.tmg.graph import TimedMarkedGraph
+
+CHANNEL_PREFIX = "ch:"
+PROCESS_PREFIX = "proc:"
+PUT_SUFFIX = ".put"
+GET_SUFFIX = ".get"
+
+
+def channel_transition(channel: str) -> str:
+    """Transition name of a (rendezvous) channel."""
+    return CHANNEL_PREFIX + channel
+
+
+def buffered_put_transition(channel: str) -> str:
+    """Producer-side transition name of a buffered (pre-loaded) channel."""
+    return CHANNEL_PREFIX + channel + PUT_SUFFIX
+
+
+def buffered_get_transition(channel: str) -> str:
+    """Consumer-side transition name of a buffered (pre-loaded) channel."""
+    return CHANNEL_PREFIX + channel + GET_SUFFIX
+
+
+def process_transition(process: str) -> str:
+    """Transition name of a process's computation phase."""
+    return PROCESS_PREFIX + process
+
+
+def statement_place(process: str, kind: str, channel: str | None = None) -> str:
+    """Place name of one statement in a process chain.
+
+    ``kind`` is ``"get"``, ``"put"`` or ``"compute"``; get/put take the
+    channel name.
+    """
+    if kind == "compute":
+        return f"{process}/comp"
+    if channel is None:
+        raise ValidationError("get/put statement places need a channel name")
+    return f"{process}/{kind}:{channel}"
+
+
+@dataclass(frozen=True)
+class SystemTmg:
+    """A built performance model, with back-references to the system."""
+
+    tmg: TimedMarkedGraph
+    system: SystemGraph
+    ordering: ChannelOrdering
+
+    def critical_processes(self, cycle: tuple[str, ...]) -> tuple[str, ...]:
+        """Processes whose computation transition lies on ``cycle``."""
+        return tuple(
+            name[len(PROCESS_PREFIX):]
+            for name in cycle
+            if name.startswith(PROCESS_PREFIX)
+        )
+
+    def critical_channels(self, cycle: tuple[str, ...]) -> tuple[str, ...]:
+        """Channels whose transition lies on ``cycle`` (put/get sides of a
+        buffered channel map back to the channel; duplicates removed)."""
+        seen: list[str] = []
+        for name in cycle:
+            if not name.startswith(CHANNEL_PREFIX):
+                continue
+            channel = name[len(CHANNEL_PREFIX):]
+            for suffix in (PUT_SUFFIX, GET_SUFFIX):
+                if channel.endswith(suffix):
+                    channel = channel[: -len(suffix)]
+            if channel not in seen:
+                seen.append(channel)
+        return tuple(seen)
+
+    def processes_touching(self, places: tuple[str, ...]) -> tuple[str, ...]:
+        """Processes owning any of the given statement places (in order of
+        first appearance; duplicates removed)."""
+        seen: list[str] = []
+        for place in places:
+            owner = place.split("/", 1)[0]
+            if owner not in seen:
+                seen.append(owner)
+        return tuple(seen)
+
+
+def build_tmg(
+    system: SystemGraph,
+    ordering: ChannelOrdering | None = None,
+    process_latencies: Mapping[str, int] | None = None,
+) -> SystemTmg:
+    """Build the blocking-protocol TMG of a system under an ordering.
+
+    Args:
+        system: The system topology with default latencies.
+        ordering: Statement orders; defaults to declaration order.
+        process_latencies: Optional per-process latency overrides (used by
+            design-space exploration to evaluate an implementation
+            selection without rebuilding the system).
+
+    Returns:
+        A :class:`SystemTmg` wrapping the TMG and the provenance needed to
+        interpret analysis results at the system level.
+    """
+    if ordering is None:
+        ordering = ChannelOrdering.declaration_order(system)
+    else:
+        ordering.validate(system)
+    overrides = dict(process_latencies or {})
+
+    tmg = TimedMarkedGraph(f"{system.name}.tmg")
+
+    for channel in system.channels:
+        if channel.initial_tokens == 0 and channel.capacity == 0:
+            tmg.add_transition(
+                channel_transition(channel.name), delay=channel.latency
+            )
+        else:
+            # Buffered (FIFO) or pre-loaded channel: split model (see
+            # module docstring).
+            capacity = max(channel.capacity, channel.initial_tokens)
+            tmg.add_transition(
+                buffered_put_transition(channel.name), delay=channel.latency
+            )
+            tmg.add_transition(buffered_get_transition(channel.name), delay=0)
+            tmg.add_place(
+                f"{channel.name}/data",
+                buffered_put_transition(channel.name),
+                buffered_get_transition(channel.name),
+                tokens=channel.initial_tokens,
+            )
+            tmg.add_place(
+                f"{channel.name}/credit",
+                buffered_get_transition(channel.name),
+                buffered_put_transition(channel.name),
+                tokens=capacity - channel.initial_tokens,
+            )
+    for process in system.processes:
+        latency = overrides.get(process.name, process.latency)
+        if latency < 0:
+            raise ValidationError(
+                f"latency override for {process.name!r} must be >= 0, got {latency}"
+            )
+        tmg.add_transition(process_transition(process.name), delay=latency)
+
+    for process in system.processes:
+        chain = ordering.statements_of(process.name)
+        # Transition driven by each statement.
+        transitions = []
+        for kind, target in chain:
+            if kind == "compute":
+                transitions.append(process_transition(process.name))
+                continue
+            channel = system.channel(target)
+            if channel.initial_tokens == 0 and channel.capacity == 0:
+                transitions.append(channel_transition(target))
+            elif kind == "put":
+                transitions.append(buffered_put_transition(target))
+            else:
+                transitions.append(buffered_get_transition(target))
+        place_names = [
+            statement_place(process.name, kind, None if kind == "compute" else target)
+            for kind, target in chain
+        ]
+        first_marked = _first_marked_statement(process.kind, chain)
+        for i, (kind, target) in enumerate(chain):
+            producer = transitions[(i - 1) % len(chain)]
+            tokens = 1 if i == first_marked else 0
+            tmg.add_place(place_names[i], producer, transitions[i], tokens=tokens)
+
+    return SystemTmg(tmg=tmg, system=system, ordering=ordering)
+
+
+def _first_marked_statement(
+    kind: ProcessKind, chain: tuple[tuple[str, str], ...]
+) -> int:
+    """Index of the statement receiving the initial token.
+
+    Processes that read start at their first get (the paper's rule: "a
+    token is placed in the first get-place of each process").  Testbench
+    sources have no gets; their token sits on the first put-place
+    ("putsrc1"), modelling an environment that always has data ready.
+    A source with no puts is degenerate and gets its token on the
+    computation place so its chain stays live.
+    """
+    for i, (statement_kind, _) in enumerate(chain):
+        if statement_kind == "get":
+            return i
+    for i, (statement_kind, _) in enumerate(chain):
+        if statement_kind == "put":
+            return i
+    return 0

@@ -1,0 +1,129 @@
+"""System-level performance analysis: the paper's Fig. 5 "Performance
+Analysis" box.
+
+Wraps TMG construction (:mod:`repro.model.build`) and cycle-time analysis
+(:mod:`repro.tmg.analysis`) into one call operating directly on a system
+and a channel ordering, reporting results in system vocabulary (processes
+and channels rather than places and transitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Union
+
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.errors import DeadlockError, NotLiveError
+from repro.model.build import SystemTmg, build_tmg
+from repro.tmg.analysis import Engine, PerformanceReport, analyze
+
+Number = Union[Fraction, float]
+
+
+@dataclass(frozen=True)
+class SystemPerformance:
+    """Performance of a system under a specific configuration.
+
+    Attributes:
+        cycle_time: Steady-state cycles between consecutive data items.
+        critical_processes: Processes whose computation lies on the
+            critical cycle — the candidates for timing optimization.
+        critical_channels: Channels on the critical cycle.
+        report: The underlying TMG-level report.
+    """
+
+    cycle_time: Number
+    critical_processes: tuple[str, ...]
+    critical_channels: tuple[str, ...]
+    report: PerformanceReport
+
+    @property
+    def throughput(self) -> Number:
+        return self.report.throughput
+
+
+def analyze_system(
+    system: SystemGraph,
+    ordering: ChannelOrdering | None = None,
+    process_latencies: Mapping[str, int] | None = None,
+    engine: Engine | str = Engine.HOWARD,
+    exact: bool = True,
+) -> SystemPerformance:
+    """Cycle time and critical cycle of a system under an ordering.
+
+    Raises:
+        DeadlockError: The configuration deadlocks; the error's ``cycle``
+            lists the processes and channels in the circular wait.
+    """
+    model = build_tmg(system, ordering, process_latencies=process_latencies)
+    try:
+        report = analyze(model.tmg, engine=engine, exact=exact)
+    except NotLiveError as error:
+        raise _system_deadlock(model, error) from None
+    return SystemPerformance(
+        cycle_time=report.cycle_time,
+        critical_processes=model.critical_processes(report.critical_cycle),
+        critical_channels=model.critical_channels(report.critical_cycle),
+        report=report,
+    )
+
+
+def is_deadlock_free(
+    system: SystemGraph,
+    ordering: ChannelOrdering | None = None,
+    process_latencies: Mapping[str, int] | None = None,
+) -> bool:
+    """True iff the configuration cannot deadlock.
+
+    Deadlock freedom of a marked graph depends only on the topology,
+    statement orders, and initial tokens — not on latencies — so this is a
+    purely structural, linear-time check.
+    """
+    from repro.tmg.deadlock import is_live
+
+    model = build_tmg(system, ordering, process_latencies=process_latencies)
+    return is_live(model.tmg)
+
+
+def deadlock_cycle(
+    system: SystemGraph,
+    ordering: ChannelOrdering | None = None,
+) -> tuple[str, ...] | None:
+    """The circular wait of a deadlocking configuration, or ``None``.
+
+    Returned as alternating system-level names (processes and channels),
+    e.g. ``("P2", "d", "P6", "g", "P5", "f")`` for the motivating example's
+    Section 2 deadlock.
+    """
+    from repro.tmg.deadlock import find_token_free_cycle
+    from repro.tmg.event_graph import build_event_graph
+
+    model = build_tmg(system, ordering)
+    witness = find_token_free_cycle(build_event_graph(model.tmg))
+    if witness is None:
+        return None
+    return _strip_prefixes(witness)
+
+
+def _system_deadlock(model: SystemTmg, error: NotLiveError) -> DeadlockError:
+    cycle = _strip_prefixes(error.cycle or [])
+    return DeadlockError(
+        f"system {model.system.name!r} deadlocks under this channel ordering; "
+        "circular wait: " + " -> ".join(cycle),
+        cycle=list(cycle),
+    )
+
+
+def _strip_prefixes(names: list[str]) -> tuple[str, ...]:
+    from repro.model.build import CHANNEL_PREFIX, PROCESS_PREFIX
+
+    stripped = []
+    for name in names:
+        if name.startswith(CHANNEL_PREFIX):
+            stripped.append(name[len(CHANNEL_PREFIX):])
+        elif name.startswith(PROCESS_PREFIX):
+            stripped.append(name[len(PROCESS_PREFIX):])
+        else:
+            stripped.append(name)
+    return tuple(stripped)

@@ -1,0 +1,97 @@
+"""Bit-level writer/reader for the entropy-coded stream.
+
+MSB-first bit packing with byte alignment support — the substrate under
+:mod:`repro.mpeg2.codec.vlc`.  Writer and reader are exact inverses.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a byte string."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._accumulator = 0
+        self._pending = 0  # bits in the accumulator
+
+    def write_bit(self, bit: int) -> None:
+        if bit not in (0, 1):
+            raise ValidationError(f"bit must be 0 or 1, got {bit}")
+        self._accumulator = (self._accumulator << 1) | bit
+        self._pending += 1
+        if self._pending == 8:
+            self._bytes.append(self._accumulator)
+            self._accumulator = 0
+            self._pending = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Write ``value`` in ``width`` bits, MSB first."""
+        if width < 0:
+            raise ValidationError("width must be >= 0")
+        if value < 0 or (width < 64 and value >= (1 << width)):
+            raise ValidationError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def align(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        while self._pending:
+            self.write_bit(0)
+
+    @property
+    def bit_length(self) -> int:
+        return 8 * len(self._bytes) + self._pending
+
+    def getbits(self) -> str:
+        """The exact bits written so far as a '0'/'1' string (no padding).
+
+        Used by the distributed encoder to pass bit chunks between
+        processes before the packer concatenates and byte-aligns them.
+        """
+        bits = "".join(format(b, "08b") for b in self._bytes)
+        if self._pending:
+            bits += format(self._accumulator, f"0{self._pending}b")
+        return bits
+
+    def getvalue(self) -> bytes:
+        """The byte string written so far (flushes alignment padding)."""
+        self.align()
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._position = 0  # bit cursor
+
+    def read_bit(self) -> int:
+        if self._position >= 8 * len(self._data):
+            raise ValidationError("bitstream exhausted")
+        byte = self._data[self._position // 8]
+        bit = (byte >> (7 - self._position % 8)) & 1
+        self._position += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def align(self) -> None:
+        remainder = self._position % 8
+        if remainder:
+            self._position += 8 - remainder
+
+    @property
+    def bits_consumed(self) -> int:
+        return self._position
+
+    def exhausted(self) -> bool:
+        """True when fewer than 8 unread bits remain (alignment slack)."""
+        return 8 * len(self._data) - self._position < 8

@@ -1,0 +1,73 @@
+"""8×8 type-II DCT / inverse DCT for the MPEG-2 transform stage.
+
+Uses the orthonormal DCT-II basis as a precomputed 8×8 matrix:
+``C = D · X · Dᵀ`` and ``X = Dᵀ · C · D``.  Batched variants operate on
+stacks of blocks (``(..., 8, 8)`` arrays), which is how the macroblock
+pipeline calls them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+BLOCK = 8
+
+
+def _dct_matrix() -> np.ndarray:
+    d = np.zeros((BLOCK, BLOCK))
+    for k in range(BLOCK):
+        scale = math.sqrt(1.0 / BLOCK) if k == 0 else math.sqrt(2.0 / BLOCK)
+        for n in range(BLOCK):
+            d[k, n] = scale * math.cos(math.pi * (2 * n + 1) * k / (2 * BLOCK))
+    return d
+
+
+_D = _dct_matrix()
+_DT = _D.T
+
+
+def dct2(block: np.ndarray) -> np.ndarray:
+    """Forward 8×8 DCT (float output) of one block or a stack of blocks."""
+    if block.shape[-2:] != (BLOCK, BLOCK):
+        raise ValidationError(f"DCT expects (..., 8, 8) blocks, got {block.shape}")
+    return _D @ block.astype(np.float64) @ _DT
+
+
+def idct2(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse 8×8 DCT (float output) of one block or a stack of blocks."""
+    if coefficients.shape[-2:] != (BLOCK, BLOCK):
+        raise ValidationError(
+            f"IDCT expects (..., 8, 8) blocks, got {coefficients.shape}"
+        )
+    return _DT @ coefficients.astype(np.float64) @ _D
+
+
+def blocks_of_macroblock(luma: np.ndarray) -> np.ndarray:
+    """Split a 16×16 luma macroblock into its four 8×8 blocks (stacked in
+    raster order: top-left, top-right, bottom-left, bottom-right)."""
+    if luma.shape != (16, 16):
+        raise ValidationError(f"expected a 16x16 macroblock, got {luma.shape}")
+    return np.stack(
+        [
+            luma[0:8, 0:8],
+            luma[0:8, 8:16],
+            luma[8:16, 0:8],
+            luma[8:16, 8:16],
+        ]
+    )
+
+
+def macroblock_of_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`blocks_of_macroblock`."""
+    if blocks.shape != (4, 8, 8):
+        raise ValidationError(f"expected (4, 8, 8) blocks, got {blocks.shape}")
+    out = np.empty((16, 16), dtype=blocks.dtype)
+    out[0:8, 0:8] = blocks[0]
+    out[0:8, 8:16] = blocks[1]
+    out[8:16, 0:8] = blocks[2]
+    out[8:16, 8:16] = blocks[3]
+    return out

@@ -1,0 +1,159 @@
+"""Decoder for the reproduction's bitstream format.
+
+Exactly inverts :mod:`repro.mpeg2.codec.encoder`: the decoded frames must
+be bit-identical to the encoder's in-loop reconstruction (the standard
+closed-loop property of hybrid video coders), which the test suite
+verifies on whole sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mpeg2.codec.bitstream import BitReader
+from repro.mpeg2.codec.dct import idct2, macroblock_of_blocks
+from repro.mpeg2.codec.frames import Frame, VideoFormat, gray_frame
+from repro.mpeg2.codec.motion import (
+    MotionVector,
+    predict_chroma,
+    predict_chroma_halfpel,
+    predict_macroblock,
+    predict_macroblock_halfpel,
+)
+from repro.mpeg2.codec.quant import dequantize
+from repro.mpeg2.codec.vlc import decode_block, decode_motion_vector, read_ue
+from repro.mpeg2.codec.zigzag import run_level_decode, unscan
+
+
+class Decoder:
+    """Decodes a bitstream produced by :class:`~.encoder.Encoder`.
+
+    ``reference_delay`` must match the encoder's setting.
+    """
+
+    def __init__(self, fmt: VideoFormat, reference_delay: int = 1):
+        if reference_delay < 1:
+            raise ValidationError("reference_delay must be >= 1")
+        self.fmt = fmt
+        self.reference_delay = reference_delay
+
+    def decode_sequence(self, bitstream: bytes, n_frames: int) -> list[Frame]:
+        """Decode ``n_frames`` frames from the bitstream."""
+        reader = BitReader(bitstream)
+        frames: list[Frame] = []
+        for expected in range(n_frames):
+            if expected >= self.reference_delay:
+                reference = frames[expected - self.reference_delay]
+            else:
+                reference = gray_frame(self.fmt)
+            frame = self._decode_frame(reader, reference, expected)
+            frames.append(frame)
+            reader.align()
+        return frames
+
+    # ------------------------------------------------------------------
+
+    def _decode_frame(
+        self, reader: BitReader, reference: Frame, expected_index: int
+    ) -> Frame:
+        index = read_ue(reader)
+        if index != expected_index:
+            raise ValidationError(
+                f"frame header index {index} does not match expected "
+                f"{expected_index}"
+            )
+        intra = read_ue(reader) == 1
+        qscale = read_ue(reader)
+        half_pel = read_ue(reader) == 1
+
+        rec_y = np.zeros((self.fmt.height, self.fmt.width), dtype=np.int32)
+        rec_cb = np.zeros((self.fmt.height // 2, self.fmt.width // 2), dtype=np.int32)
+        rec_cr = np.zeros_like(rec_cb)
+
+        for mb_row in range(self.fmt.mb_rows):
+            prev_mv = MotionVector(0, 0)
+            for mb_col in range(self.fmt.mb_cols):
+                prev_mv = self._decode_macroblock(
+                    reader,
+                    reference,
+                    mb_row,
+                    mb_col,
+                    intra,
+                    qscale,
+                    half_pel,
+                    prev_mv,
+                    (rec_y, rec_cb, rec_cr),
+                )
+
+        return Frame(
+            y=np.clip(rec_y, 0, 255).astype(np.uint8),
+            cb=np.clip(rec_cb, 0, 255).astype(np.uint8),
+            cr=np.clip(rec_cr, 0, 255).astype(np.uint8),
+        )
+
+    def _decode_macroblock(
+        self,
+        reader: BitReader,
+        reference: Frame,
+        mb_row: int,
+        mb_col: int,
+        intra: bool,
+        qscale: int,
+        half_pel: bool,
+        prev_mv: MotionVector,
+        planes: tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> MotionVector:
+        rec_y, rec_cb, rec_cr = planes
+        y0, x0 = mb_row * 16, mb_col * 16
+        c0, cx0 = mb_row * 8, mb_col * 8
+
+        if intra:
+            mv = MotionVector(0, 0)
+            pred_y = np.full((16, 16), 128, dtype=np.int32)
+            pred_cb = np.full((8, 8), 128, dtype=np.int32)
+            pred_cr = np.full((8, 8), 128, dtype=np.int32)
+        else:
+            ddx, ddy = decode_motion_vector(reader)
+            mv = MotionVector(prev_mv.dx + ddx, prev_mv.dy + ddy)
+            if half_pel:
+                pred_y = predict_macroblock_halfpel(
+                    reference.y, mb_row, mb_col, mv
+                ).astype(np.int32)
+                pred_cb = predict_chroma_halfpel(
+                    reference.cb, mb_row, mb_col, mv
+                ).astype(np.int32)
+                pred_cr = predict_chroma_halfpel(
+                    reference.cr, mb_row, mb_col, mv
+                ).astype(np.int32)
+            else:
+                pred_y = predict_macroblock(
+                    reference.y, mb_row, mb_col, mv
+                ).astype(np.int32)
+                pred_cb = predict_chroma(
+                    reference.cb, mb_row, mb_col, mv
+                ).astype(np.int32)
+                pred_cr = predict_chroma(
+                    reference.cr, mb_row, mb_col, mv
+                ).astype(np.int32)
+
+        luma_blocks = np.stack(
+            [self._decode_block(reader, qscale, intra) for _ in range(4)]
+        )
+        rec_y[y0 : y0 + 16, x0 : x0 + 16] = np.clip(
+            macroblock_of_blocks(luma_blocks) + pred_y, 0, 255
+        )
+        for pred_c, rec_plane in ((pred_cb, rec_cb), (pred_cr, rec_cr)):
+            block = self._decode_block(reader, qscale, intra)
+            rec_plane[c0 : c0 + 8, cx0 : cx0 + 8] = np.clip(
+                block + pred_c, 0, 255
+            )
+        return mv
+
+    @staticmethod
+    def _decode_block(reader: BitReader, qscale: int, intra: bool) -> np.ndarray:
+        pairs = decode_block(reader)
+        levels = unscan(run_level_decode(pairs))
+        return np.round(idct2(dequantize(levels, qscale, intra=intra))).astype(
+            np.int32
+        )

@@ -1,0 +1,338 @@
+"""The reference MPEG-2-style encoder pipeline (functional model).
+
+This is the *behavioural* specification of the case study: a GOP-based
+I/P encoder over 4:2:0 frames — motion estimation and compensation, 8×8
+DCT, matrix quantization with a rate-controlled quantiser scale, zig-zag
+run/level scanning, and Exp-Golomb entropy coding — plus the in-loop
+reconstruction that produces the reference frames.
+
+The 26-process system of :mod:`repro.mpeg2.topology` partitions exactly
+this computation; :mod:`repro.mpeg2.functional` runs it through the
+discrete-event simulator's blocking channels and the test suite checks the
+distributed execution is bit-identical to this reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mpeg2.codec.bitstream import BitWriter
+from repro.mpeg2.codec.dct import blocks_of_macroblock, dct2, idct2, macroblock_of_blocks
+from repro.mpeg2.codec.frames import Frame, VideoFormat, gray_frame
+from repro.mpeg2.codec.motion import (
+    MotionVector,
+    full_search_fast,
+    halfpel_refine,
+    predict_chroma,
+    predict_chroma_halfpel,
+    predict_macroblock,
+    predict_macroblock_halfpel,
+    two_stage_search,
+)
+from repro.mpeg2.codec.quant import MAX_QSCALE, MIN_QSCALE, dequantize, quantize
+from repro.mpeg2.codec.vlc import (
+    encode_block,
+    encode_motion_vector,
+    write_ue,
+)
+from repro.mpeg2.codec.zigzag import run_level_encode, scan
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Encoder parameters.
+
+    Attributes:
+        gop_size: An I frame every ``gop_size`` frames (the rest are P).
+        qscale: Initial quantiser scale.
+        search_range: Motion-search window radius in pels.
+        target_bits_per_frame: When set, a simple proportional rate
+            controller nudges the quantiser scale each frame to hold the
+            bit budget (the case study's rate-control feedback loop).
+        reference_delay: How many frames old the reference is.  ``1`` is
+            the classic closed loop; ``2`` models a double-buffered frame
+            store (the pipelined hardware of the case study, where frame
+            ``k`` predicts from the reconstruction of frame ``k−2``).
+            Frames younger than the delay predict from a flat mid-grey
+            frame.
+        me_mode: ``"full"`` — exhaustive search (one stage); ``"two_stage"``
+            — coarse grid search plus local refinement, the decomposition
+            the case study's me_coarse/me_refine process pair implements.
+        me_step: Grid step of the coarse stage (two-stage mode).
+        refine_range: Radius of the refinement stage (two-stage mode).
+        half_pel: Refine the integer vector to half-pel precision (MPEG-2
+            style bilinear interpolation); motion vectors are then coded
+            in half-pel units, and the bitstream self-describes via a
+            header flag.
+    """
+
+    gop_size: int = 8
+    qscale: int = 8
+    search_range: int = 8
+    target_bits_per_frame: int | None = None
+    reference_delay: int = 1
+    me_mode: str = "full"
+    me_step: int = 2
+    refine_range: int = 1
+    half_pel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gop_size < 1:
+            raise ValidationError("gop_size must be >= 1")
+        if not MIN_QSCALE <= self.qscale <= MAX_QSCALE:
+            raise ValidationError(f"qscale {self.qscale} out of range")
+        if self.search_range < 0:
+            raise ValidationError("search_range must be >= 0")
+        if self.reference_delay < 1:
+            raise ValidationError("reference_delay must be >= 1")
+        if self.me_mode not in ("full", "two_stage"):
+            raise ValidationError(f"unknown me_mode {self.me_mode!r}")
+        if self.me_step < 1:
+            raise ValidationError("me_step must be >= 1")
+        if self.refine_range < 0:
+            raise ValidationError("refine_range must be >= 0")
+
+    def search(self, current, reference, mb_row: int, mb_col: int):
+        """Run the configured motion search; returns ``(mv, cost)``.
+
+        With ``half_pel`` the returned vector is in half-pel units.
+        """
+        if self.me_mode == "two_stage":
+            mv, cost = two_stage_search(
+                current, reference, mb_row, mb_col,
+                search_range=self.search_range,
+                step=self.me_step,
+                refine_range=self.refine_range,
+            )
+        else:
+            mv, cost = full_search_fast(
+                current, reference, mb_row, mb_col, self.search_range
+            )
+        if self.half_pel:
+            return halfpel_refine(current, reference, mb_row, mb_col, mv)
+        return mv, cost
+
+    def predict(self, reference_frame, mb_row: int, mb_col: int, mv):
+        """Luma/chroma predictors for a vector from :meth:`search`."""
+        if self.half_pel:
+            return (
+                predict_macroblock_halfpel(
+                    reference_frame.y, mb_row, mb_col, mv
+                ),
+                predict_chroma_halfpel(
+                    reference_frame.cb, mb_row, mb_col, mv
+                ),
+                predict_chroma_halfpel(
+                    reference_frame.cr, mb_row, mb_col, mv
+                ),
+            )
+        return (
+            predict_macroblock(reference_frame.y, mb_row, mb_col, mv),
+            predict_chroma(reference_frame.cb, mb_row, mb_col, mv),
+            predict_chroma(reference_frame.cr, mb_row, mb_col, mv),
+        )
+
+
+@dataclass
+class FrameStats:
+    """Per-frame encoding statistics."""
+
+    index: int
+    intra: bool
+    qscale: int
+    bits: int
+    motion_vectors: list[MotionVector] = field(default_factory=list)
+
+
+@dataclass
+class EncodedVideo:
+    """Encoder output: the bitstream plus reconstruction and statistics."""
+
+    bitstream: bytes
+    stats: list[FrameStats]
+    reconstructed: list[Frame]
+
+    @property
+    def total_bits(self) -> int:
+        return sum(s.bits for s in self.stats)
+
+
+def _reconstruct_block(levels: np.ndarray, qscale: int, intra: bool) -> np.ndarray:
+    """Decoder-exact reconstruction of one residual/pixel block (int32)."""
+    return np.round(idct2(dequantize(levels, qscale, intra=intra))).astype(np.int32)
+
+
+def _code_plane_blocks(
+    writer: BitWriter,
+    blocks: np.ndarray,
+    qscale: int,
+    intra: bool,
+) -> np.ndarray:
+    """DCT→quantize→scan→VLC a stack of blocks; return quantized levels."""
+    coefficients = dct2(blocks.astype(np.float64))
+    levels = quantize(coefficients, qscale, intra=intra)
+    for block_levels in levels:
+        encode_block(writer, run_level_encode(scan(block_levels)))
+    return levels
+
+
+class Encoder:
+    """The reference encoder.  Stateless between sequences."""
+
+    def __init__(self, config: EncoderConfig | None = None):
+        self.config = config or EncoderConfig()
+
+    # ------------------------------------------------------------------
+
+    def encode_sequence(self, frames: list[Frame]) -> EncodedVideo:
+        """Encode frames into one bitstream, I/P per the GOP structure."""
+        if not frames:
+            raise ValidationError("cannot encode an empty sequence")
+        fmt = frames[0].format
+        writer = BitWriter()
+        stats: list[FrameStats] = []
+        reconstructed: list[Frame] = []
+        qscale = self.config.qscale
+        delay = self.config.reference_delay
+
+        for index, frame in enumerate(frames):
+            if frame.format != fmt:
+                raise ValidationError("frame size changes mid-sequence")
+            intra = index % self.config.gop_size == 0
+            if index >= delay:
+                reference = reconstructed[index - delay]
+            else:
+                reference = gray_frame(fmt)
+            bits_before = writer.bit_length
+            frame_stats = FrameStats(
+                index=index, intra=intra, qscale=qscale, bits=0
+            )
+            recon = self._encode_frame(
+                writer, frame, reference, fmt, intra, qscale, frame_stats
+            )
+            writer.align()
+            frame_stats.bits = writer.bit_length - bits_before
+            stats.append(frame_stats)
+            reconstructed.append(recon)
+            qscale = self._rate_control(qscale, frame_stats.bits)
+
+        return EncodedVideo(
+            bitstream=writer.getvalue(), stats=stats, reconstructed=reconstructed
+        )
+
+    # ------------------------------------------------------------------
+
+    def _rate_control(self, qscale: int, bits: int) -> int:
+        """Proportional rate control: one qscale step per frame at most."""
+        target = self.config.target_bits_per_frame
+        if target is None:
+            return qscale
+        if bits > target:
+            return min(MAX_QSCALE, qscale + 1)
+        if bits < 0.8 * target:
+            return max(MIN_QSCALE, qscale - 1)
+        return qscale
+
+    def _encode_frame(
+        self,
+        writer: BitWriter,
+        frame: Frame,
+        reference: Frame,
+        fmt: VideoFormat,
+        intra: bool,
+        qscale: int,
+        stats: FrameStats,
+    ) -> Frame:
+        # Frame header: index, picture type, quantiser scale, MV precision.
+        write_ue(writer, stats.index)
+        write_ue(writer, 1 if intra else 0)
+        write_ue(writer, qscale)
+        write_ue(writer, 1 if self.config.half_pel else 0)
+
+        rec_y = np.zeros_like(frame.y, dtype=np.int32)
+        rec_cb = np.zeros_like(frame.cb, dtype=np.int32)
+        rec_cr = np.zeros_like(frame.cr, dtype=np.int32)
+        prev_mv = MotionVector(0, 0)
+
+        for mb_row in range(fmt.mb_rows):
+            prev_mv = MotionVector(0, 0)  # predictor resets per MB row
+            for mb_col in range(fmt.mb_cols):
+                prev_mv = self._encode_macroblock(
+                    writer,
+                    frame,
+                    reference,
+                    mb_row,
+                    mb_col,
+                    intra,
+                    qscale,
+                    prev_mv,
+                    (rec_y, rec_cb, rec_cr),
+                    stats,
+                )
+
+        return Frame(
+            y=np.clip(rec_y, 0, 255).astype(np.uint8),
+            cb=np.clip(rec_cb, 0, 255).astype(np.uint8),
+            cr=np.clip(rec_cr, 0, 255).astype(np.uint8),
+        )
+
+    def _encode_macroblock(
+        self,
+        writer: BitWriter,
+        frame: Frame,
+        reference: Frame,
+        mb_row: int,
+        mb_col: int,
+        intra: bool,
+        qscale: int,
+        prev_mv: MotionVector,
+        recon_planes: tuple[np.ndarray, np.ndarray, np.ndarray],
+        stats: FrameStats,
+    ) -> MotionVector:
+        rec_y, rec_cb, rec_cr = recon_planes
+        y0, x0 = mb_row * 16, mb_col * 16
+        c0, cx0 = mb_row * 8, mb_col * 8
+        cur_y = frame.y[y0 : y0 + 16, x0 : x0 + 16]
+        cur_cb = frame.cb[c0 : c0 + 8, cx0 : cx0 + 8]
+        cur_cr = frame.cr[c0 : c0 + 8, cx0 : cx0 + 8]
+
+        if intra:
+            mv = MotionVector(0, 0)
+            pred_y = np.full((16, 16), 128, dtype=np.int32)
+            pred_cb = np.full((8, 8), 128, dtype=np.int32)
+            pred_cr = np.full((8, 8), 128, dtype=np.int32)
+        else:
+            mv, __ = self.config.search(cur_y, reference.y, mb_row, mb_col)
+            encode_motion_vector(
+                writer, mv.dx - prev_mv.dx, mv.dy - prev_mv.dy
+            )
+            stats.motion_vectors.append(mv)
+            pred_y, pred_cb, pred_cr = (
+                plane.astype(np.int32)
+                for plane in self.config.predict(reference, mb_row, mb_col, mv)
+            )
+
+        # Luma: four 8x8 residual blocks.
+        res_y = blocks_of_macroblock(cur_y.astype(np.int32) - pred_y)
+        levels_y = _code_plane_blocks(writer, res_y, qscale, intra)
+        rec_res_y = _reconstruct_block(levels_y, qscale, intra)
+        rec_y[y0 : y0 + 16, x0 : x0 + 16] = np.clip(
+            macroblock_of_blocks(rec_res_y) + pred_y, 0, 255
+        )
+
+        # Chroma: one block each.
+        for cur_c, pred_c, rec_plane in (
+            (cur_cb, pred_cb, rec_cb),
+            (cur_cr, pred_cr, rec_cr),
+        ):
+            res_c = (cur_c.astype(np.int32) - pred_c)[np.newaxis, :, :]
+            levels_c = _code_plane_blocks(writer, res_c, qscale, intra)
+            rec_res_c = _reconstruct_block(levels_c, qscale, intra)[0]
+            rec_plane[c0 : c0 + 8, cx0 : cx0 + 8] = np.clip(
+                rec_res_c + pred_c, 0, 255
+            )
+
+        return mv

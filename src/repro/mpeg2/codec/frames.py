@@ -1,0 +1,143 @@
+"""Synthetic video source for the MPEG-2 case study.
+
+The paper's testbench feeds the encoder with image streams at 352×240
+(SIF).  Offline we synthesize deterministic video with the properties the
+encoder cares about: smooth regions (DCT compaction), edges, and global /
+local motion between frames (so P-frames actually exercise motion
+estimation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+MB_SIZE = 16
+BLOCK_SIZE = 8
+
+
+@dataclass(frozen=True)
+class VideoFormat:
+    """Luma geometry of a video stream (4:2:0 chroma is half each axis)."""
+
+    width: int = 352
+    height: int = 240
+
+    def __post_init__(self) -> None:
+        if self.width % MB_SIZE or self.height % MB_SIZE:
+            raise ValidationError(
+                f"frame size {self.width}x{self.height} must be a multiple "
+                f"of the macroblock size ({MB_SIZE})"
+            )
+
+    @property
+    def mb_cols(self) -> int:
+        return self.width // MB_SIZE
+
+    @property
+    def mb_rows(self) -> int:
+        return self.height // MB_SIZE
+
+    @property
+    def macroblocks(self) -> int:
+        return self.mb_cols * self.mb_rows
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One 4:2:0 frame: ``y`` at full size, ``cb``/``cr`` at half size.
+
+    Planes are ``uint8`` arrays.
+    """
+
+    y: np.ndarray
+    cb: np.ndarray
+    cr: np.ndarray
+
+    def __post_init__(self) -> None:
+        h, w = self.y.shape
+        for name, plane in (("cb", self.cb), ("cr", self.cr)):
+            if plane.shape != (h // 2, w // 2):
+                raise ValidationError(
+                    f"{name} plane shape {plane.shape} does not match 4:2:0 "
+                    f"for luma {self.y.shape}"
+                )
+
+    @property
+    def format(self) -> VideoFormat:
+        return VideoFormat(width=self.y.shape[1], height=self.y.shape[0])
+
+
+def synthetic_sequence(
+    n_frames: int,
+    fmt: VideoFormat | None = None,
+    seed: int = 0,
+) -> list[Frame]:
+    """Generate a deterministic moving-pattern sequence.
+
+    The content is a smooth gradient background, a bright square moving
+    diagonally, and a dim textured bar moving horizontally — enough to make
+    I-frames compressible and P-frames benefit from motion compensation.
+    """
+    fmt = fmt or VideoFormat()
+    rng = np.random.default_rng(seed)
+    texture = rng.integers(0, 24, size=(fmt.height, fmt.width), dtype=np.int32)
+
+    yy, xx = np.mgrid[0 : fmt.height, 0 : fmt.width]
+    background = (32 + 80 * xx / fmt.width + 40 * yy / fmt.height).astype(np.int32)
+
+    frames = []
+    for t in range(n_frames):
+        y = background.copy()
+        # Moving bright square.
+        size = 48
+        x0 = (20 + 6 * t) % max(1, fmt.width - size)
+        y0 = (16 + 4 * t) % max(1, fmt.height - size)
+        y[y0 : y0 + size, x0 : x0 + size] += 120
+        # Moving textured bar.
+        bar_h = 24
+        by = (fmt.height // 2 + 2 * t) % max(1, fmt.height - bar_h)
+        y[by : by + bar_h, :] += texture[by : by + bar_h, :]
+        y = np.clip(y, 0, 255).astype(np.uint8)
+
+        # Chroma: slowly varying color field shifted by time.
+        cyy, cxx = np.mgrid[0 : fmt.height // 2, 0 : fmt.width // 2]
+        cb = (128 + 30 * np.sin((cxx + 3 * t) / 24.0)).astype(np.uint8)
+        cr = (128 + 30 * np.cos((cyy + 2 * t) / 20.0)).astype(np.uint8)
+        frames.append(Frame(y=y, cb=cb, cr=cr))
+    return frames
+
+
+def macroblock(frame: Frame, mb_row: int, mb_col: int) -> dict[str, np.ndarray]:
+    """Extract one macroblock: 16×16 luma + two 8×8 chroma blocks."""
+    y0, x0 = mb_row * MB_SIZE, mb_col * MB_SIZE
+    c0, cx0 = mb_row * BLOCK_SIZE, mb_col * BLOCK_SIZE
+    return {
+        "y": frame.y[y0 : y0 + MB_SIZE, x0 : x0 + MB_SIZE],
+        "cb": frame.cb[c0 : c0 + BLOCK_SIZE, cx0 : cx0 + BLOCK_SIZE],
+        "cr": frame.cr[c0 : c0 + BLOCK_SIZE, cx0 : cx0 + BLOCK_SIZE],
+    }
+
+
+def gray_frame(fmt: VideoFormat) -> Frame:
+    """A flat mid-grey frame (the bootstrap reference before any
+    reconstruction exists — e.g. an initialized frame store)."""
+    return Frame(
+        y=np.full((fmt.height, fmt.width), 128, dtype=np.uint8),
+        cb=np.full((fmt.height // 2, fmt.width // 2), 128, dtype=np.uint8),
+        cr=np.full((fmt.height // 2, fmt.width // 2), 128, dtype=np.uint8),
+    )
+
+
+def psnr(reference: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB between two uint8 planes."""
+    if reference.shape != reconstructed.shape:
+        raise ValidationError("PSNR operands must have identical shapes")
+    diff = reference.astype(np.float64) - reconstructed.astype(np.float64)
+    mse = float(np.mean(diff * diff))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0 * 255.0 / mse)

@@ -1,0 +1,73 @@
+"""Quantization / inverse quantization of DCT coefficients.
+
+MPEG-2-style: a perceptual weighting matrix (default intra matrix of the
+standard for intra blocks, flat 16 for non-intra) scaled by the
+macroblock quantiser scale that rate control adjusts.  Quantization is the
+lossy step; inverse quantization reproduces exactly what a decoder
+computes, so encoder-side reconstruction matches the decoder bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+#: Default intra quantization matrix of MPEG-2 (ISO/IEC 13818-2, Table 7).
+INTRA_MATRIX = np.array(
+    [
+        [8, 16, 19, 22, 26, 27, 29, 34],
+        [16, 16, 22, 24, 27, 29, 34, 37],
+        [19, 22, 26, 27, 29, 34, 34, 38],
+        [22, 22, 26, 27, 29, 34, 37, 40],
+        [22, 26, 27, 29, 32, 35, 40, 48],
+        [26, 27, 29, 32, 35, 40, 48, 58],
+        [26, 27, 29, 34, 38, 46, 56, 69],
+        [27, 29, 35, 38, 46, 56, 69, 83],
+    ],
+    dtype=np.float64,
+)
+
+#: Non-intra (inter residual) matrix: flat 16, per the standard's default.
+INTER_MATRIX = np.full((8, 8), 16.0)
+
+MIN_QSCALE = 1
+MAX_QSCALE = 31
+
+
+def _check(coefficients: np.ndarray, qscale: int) -> None:
+    if coefficients.shape[-2:] != (8, 8):
+        raise ValidationError(
+            f"quantizer expects (..., 8, 8) blocks, got {coefficients.shape}"
+        )
+    if not MIN_QSCALE <= qscale <= MAX_QSCALE:
+        raise ValidationError(
+            f"qscale {qscale} outside [{MIN_QSCALE}, {MAX_QSCALE}]"
+        )
+
+
+def quantize(
+    coefficients: np.ndarray, qscale: int, intra: bool = True
+) -> np.ndarray:
+    """Quantize float DCT coefficients to integer levels."""
+    _check(coefficients, qscale)
+    matrix = INTRA_MATRIX if intra else INTER_MATRIX
+    step = matrix * (2.0 * qscale) / 16.0
+    levels = np.round(coefficients / step).astype(np.int32)
+    if intra:
+        # The DC term uses a fixed step of 8 (intra_dc_precision = 8 bits).
+        levels[..., 0, 0] = np.round(coefficients[..., 0, 0] / 8.0).astype(np.int32)
+    return levels
+
+
+def dequantize(
+    levels: np.ndarray, qscale: int, intra: bool = True
+) -> np.ndarray:
+    """Inverse quantization: integer levels back to float coefficients."""
+    _check(levels, qscale)
+    matrix = INTRA_MATRIX if intra else INTER_MATRIX
+    step = matrix * (2.0 * qscale) / 16.0
+    coefficients = levels.astype(np.float64) * step
+    if intra:
+        coefficients[..., 0, 0] = levels[..., 0, 0].astype(np.float64) * 8.0
+    return coefficients

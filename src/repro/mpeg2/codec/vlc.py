@@ -1,0 +1,96 @@
+"""Variable-length (entropy) coding of run/level pairs and motion vectors.
+
+Real MPEG-2 uses fixed Huffman tables; this reproduction uses Exp-Golomb
+codes instead — universal variable-length codes with the same qualitative
+behaviour (short codes for common small symbols) and a trivially exact
+decoder, so bitstream round-trips can be property-tested without shipping
+the standard's tables.  The encoding is:
+
+* ``ue(v)``: Exp-Golomb for unsigned integers (runs, sizes);
+* ``se(v)``: signed mapping ``0, 1, -1, 2, -2, …`` (levels, motion vector
+  differences);
+* a block is the sequence ``ue(run) se(level)`` per pair, terminated by
+  ``ue(ESCAPE_RUN)`` as end-of-block (64 can never be a real run).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.mpeg2.codec.bitstream import BitReader, BitWriter
+
+#: End-of-block marker: a run value no real pair can produce.
+EOB_RUN = 64
+
+
+def write_ue(writer: BitWriter, value: int) -> None:
+    """Unsigned Exp-Golomb: ``value + 1`` written as N zeros + N+1 bits."""
+    if value < 0:
+        raise ValidationError(f"ue() needs a non-negative value, got {value}")
+    shifted = value + 1
+    width = shifted.bit_length()
+    writer.write_bits(0, width - 1)
+    writer.write_bits(shifted, width)
+
+
+def read_ue(reader: BitReader) -> int:
+    zeros = 0
+    while reader.read_bit() == 0:
+        zeros += 1
+        if zeros > 63:
+            raise ValidationError("malformed Exp-Golomb code (leading zeros)")
+    value = 1
+    for _ in range(zeros):
+        value = (value << 1) | reader.read_bit()
+    return value - 1
+
+
+def write_se(writer: BitWriter, value: int) -> None:
+    """Signed Exp-Golomb: 0→0, 1→1, -1→2, 2→3, -2→4, ..."""
+    mapped = 2 * value - 1 if value > 0 else -2 * value
+    write_ue(writer, mapped)
+
+
+def read_se(reader: BitReader) -> int:
+    mapped = read_ue(reader)
+    if mapped % 2:
+        return (mapped + 1) // 2
+    return -(mapped // 2)
+
+
+def encode_block(writer: BitWriter, pairs: list[tuple[int, int]]) -> None:
+    """Entropy-code one block's run/level pairs with an end-of-block."""
+    for run, level in pairs:
+        if not 0 <= run < EOB_RUN:
+            raise ValidationError(f"run {run} out of range")
+        if level == 0:
+            raise ValidationError("zero level in run/level stream")
+        write_ue(writer, run)
+        write_se(writer, level)
+    write_ue(writer, EOB_RUN)
+
+
+def decode_block(reader: BitReader) -> list[tuple[int, int]]:
+    """Inverse of :func:`encode_block`."""
+    pairs = []
+    total = 0
+    while True:
+        run = read_ue(reader)
+        if run == EOB_RUN:
+            return pairs
+        level = read_se(reader)
+        if level == 0:
+            raise ValidationError("decoded zero level")
+        total += run + 1
+        if total > 64:
+            raise ValidationError("decoded block overruns 64 coefficients")
+        pairs.append((run, level))
+
+
+def encode_motion_vector(writer: BitWriter, dx: int, dy: int) -> None:
+    """Entropy-code one motion-vector difference."""
+    write_se(writer, dx)
+    write_se(writer, dy)
+
+
+def decode_motion_vector(reader: BitReader) -> tuple[int, int]:
+    return read_se(reader), read_se(reader)

@@ -1,0 +1,107 @@
+"""YUV4MPEG2 (.y4m) file I/O.
+
+The standard uncompressed interchange format for raw 4:2:0 video — what
+`mpv`, `ffmpeg`, and reference codecs consume.  Lets the case study's
+synthetic sequences and reconstructions be dumped to real, playable files
+and read back, and gives the test suite an external-format round-trip.
+
+Only the subset the codec needs is implemented: progressive C420 frames
+with an arbitrary frame rate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mpeg2.codec.frames import Frame, VideoFormat
+
+_MAGIC = b"YUV4MPEG2"
+
+
+def write_y4m(
+    path: str | Path,
+    frames: list[Frame],
+    fps: tuple[int, int] = (30, 1),
+) -> None:
+    """Write frames as a YUV4MPEG2 (C420, progressive) file."""
+    if not frames:
+        raise ValidationError("cannot write an empty sequence")
+    fmt = frames[0].format
+    num, den = fps
+    if num < 1 or den < 1:
+        raise ValidationError("frame rate must be positive")
+    header = (
+        f"YUV4MPEG2 W{fmt.width} H{fmt.height} F{num}:{den} Ip A1:1 C420\n"
+    )
+    with open(path, "wb") as handle:
+        handle.write(header.encode("ascii"))
+        for frame in frames:
+            if frame.format != fmt:
+                raise ValidationError("frame size changes mid-sequence")
+            handle.write(b"FRAME\n")
+            handle.write(frame.y.tobytes())
+            handle.write(frame.cb.tobytes())
+            handle.write(frame.cr.tobytes())
+
+
+def read_y4m(path: str | Path) -> tuple[list[Frame], tuple[int, int]]:
+    """Read a YUV4MPEG2 file written by :func:`write_y4m` (or any C420,
+    progressive source).  Returns ``(frames, (fps_num, fps_den))``."""
+    data = Path(path).read_bytes()
+    newline = data.find(b"\n")
+    if newline < 0 or not data.startswith(_MAGIC):
+        raise ValidationError(f"{path}: not a YUV4MPEG2 file")
+    header = data[:newline].decode("ascii", errors="replace")
+
+    width = height = None
+    fps = (30, 1)
+    for token in header.split()[1:]:
+        tag, value = token[0], token[1:]
+        if tag == "W":
+            width = int(value)
+        elif tag == "H":
+            height = int(value)
+        elif tag == "F":
+            num, den = value.split(":")
+            fps = (int(num), int(den))
+        elif tag == "C" and value not in ("420", "420jpeg", "420mpeg2"):
+            raise ValidationError(f"unsupported chroma subsampling C{value}")
+    if width is None or height is None:
+        raise ValidationError(f"{path}: missing W/H in header")
+    fmt = VideoFormat(width=width, height=height)
+
+    luma_bytes = width * height
+    chroma_bytes = luma_bytes // 4
+    frame_bytes = luma_bytes + 2 * chroma_bytes
+
+    frames: list[Frame] = []
+    cursor = newline + 1
+    while cursor < len(data):
+        frame_newline = data.find(b"\n", cursor)
+        if frame_newline < 0 or not data[cursor:frame_newline].startswith(
+            b"FRAME"
+        ):
+            raise ValidationError(f"{path}: malformed FRAME header")
+        cursor = frame_newline + 1
+        if cursor + frame_bytes > len(data):
+            raise ValidationError(f"{path}: truncated frame payload")
+        y = np.frombuffer(
+            data, dtype=np.uint8, count=luma_bytes, offset=cursor
+        ).reshape(height, width)
+        cursor += luma_bytes
+        cb = np.frombuffer(
+            data, dtype=np.uint8, count=chroma_bytes, offset=cursor
+        ).reshape(height // 2, width // 2)
+        cursor += chroma_bytes
+        cr = np.frombuffer(
+            data, dtype=np.uint8, count=chroma_bytes, offset=cursor
+        ).reshape(height // 2, width // 2)
+        cursor += chroma_bytes
+        frames.append(Frame(y=y.copy(), cb=cb.copy(), cr=cr.copy()))
+
+    if not frames:
+        raise ValidationError(f"{path}: no frames")
+    return frames, fps

@@ -1,0 +1,76 @@
+"""Zig-zag scan and run/level coding of quantized blocks.
+
+The scan reorders an 8×8 block into the order of increasing spatial
+frequency so trailing zeros cluster; run/level coding then emits
+``(zero-run, level)`` pairs terminated by an end-of-block marker.  Both
+directions are implemented and are exact inverses (property-tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def _zigzag_order() -> np.ndarray:
+    """The classic 8×8 zig-zag index order as an array of 64 flat indices."""
+    order = []
+    for s in range(15):  # anti-diagonals
+        diag = [(i, s - i) for i in range(8) if 0 <= s - i < 8]
+        if s % 2 == 0:
+            diag.reverse()  # up-right on even diagonals
+        order.extend(diag)
+    return np.array([r * 8 + c for r, c in order], dtype=np.int64)
+
+
+ZIGZAG = _zigzag_order()
+INVERSE_ZIGZAG = np.argsort(ZIGZAG)
+
+
+def scan(block: np.ndarray) -> np.ndarray:
+    """8×8 block -> length-64 vector in zig-zag order."""
+    if block.shape != (8, 8):
+        raise ValidationError(f"scan expects an 8x8 block, got {block.shape}")
+    return block.reshape(64)[ZIGZAG]
+
+
+def unscan(vector: np.ndarray) -> np.ndarray:
+    """Length-64 zig-zag vector -> 8×8 block."""
+    if vector.shape != (64,):
+        raise ValidationError(f"unscan expects 64 values, got {vector.shape}")
+    return vector[INVERSE_ZIGZAG].reshape(8, 8)
+
+
+def run_level_encode(vector: np.ndarray) -> list[tuple[int, int]]:
+    """Encode a zig-zag vector as ``(run, level)`` pairs.
+
+    ``run`` counts the zeros preceding each non-zero ``level``; trailing
+    zeros are absorbed by the implicit end-of-block.
+    """
+    if vector.shape != (64,):
+        raise ValidationError(f"expected 64 values, got {vector.shape}")
+    pairs = []
+    run = 0
+    for value in vector.tolist():
+        if value == 0:
+            run += 1
+        else:
+            pairs.append((run, int(value)))
+            run = 0
+    return pairs
+
+
+def run_level_decode(pairs: list[tuple[int, int]]) -> np.ndarray:
+    """Inverse of :func:`run_level_encode`."""
+    vector = np.zeros(64, dtype=np.int32)
+    position = 0
+    for run, level in pairs:
+        if level == 0:
+            raise ValidationError("run/level pair with zero level")
+        position += run
+        if position >= 64:
+            raise ValidationError("run/level stream overruns the block")
+        vector[position] = level
+        position += 1
+    return vector

@@ -1,0 +1,558 @@
+"""Running the real encoder through the 26-process blocking-channel system.
+
+This module binds one functional behaviour to each process of
+:mod:`repro.mpeg2.topology` so the discrete-event simulator executes the
+*actual* MPEG-2-style encoding (motion estimation, DCT, quantization,
+entropy coding, in-loop reconstruction, rate control) over the blocking
+rendezvous channels — the reproduction's equivalent of simulating the
+refactored SystemC design.
+
+The distributed execution is **bit-exact** with the monolithic reference
+(:class:`repro.mpeg2.codec.encoder.Encoder` at ``reference_delay=2`` — the
+double-buffered frame store implies frame ``k`` predicts from the
+reconstruction of frame ``k−2``).  The test suite verifies the produced
+bitstream byte-for-byte and decodes it back.
+
+One simulator iteration corresponds to one frame; payloads carry
+whole-frame batches of the per-macroblock data (vectors, blocks, bit
+chunks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.system import ChannelOrdering
+from repro.errors import SimulationError
+from repro.mpeg2.codec.bitstream import BitWriter
+from repro.mpeg2.codec.dct import (
+    blocks_of_macroblock,
+    dct2,
+    idct2,
+    macroblock_of_blocks,
+)
+from repro.mpeg2.codec.encoder import EncoderConfig
+from repro.mpeg2.codec.frames import Frame, VideoFormat, gray_frame
+from repro.mpeg2.codec.motion import (
+    MotionVector,
+    coarse_search,
+    full_search_fast,
+    halfpel_refine,
+    predict_chroma,
+    predict_chroma_halfpel,
+    predict_macroblock,
+    predict_macroblock_halfpel,
+    refine_search,
+)
+from repro.mpeg2.codec.quant import MAX_QSCALE, MIN_QSCALE, dequantize, quantize
+from repro.mpeg2.codec.vlc import (
+    encode_block,
+    encode_motion_vector,
+    write_ue,
+)
+from repro.mpeg2.codec.zigzag import run_level_encode, scan
+from repro.mpeg2.topology import build_mpeg2_system
+from repro.sim.engine import SimulationResult, Simulator
+
+
+@dataclass
+class FunctionalRun:
+    """Result of a distributed encoding run."""
+
+    bitstream: bytes
+    simulation: SimulationResult
+
+    @property
+    def frame_bits(self) -> list[int]:
+        return [len(chunk) for chunk in self.simulation.sink_payloads["Psnk"]]
+
+
+def encode_through_system(
+    frames: list[Frame],
+    config: EncoderConfig | None = None,
+    ordering: ChannelOrdering | None = None,
+) -> FunctionalRun:
+    """Encode a sequence by simulating the 26-process system.
+
+    Args:
+        frames: Input frames (all the same format).
+        config: Encoder parameters; ``reference_delay`` is forced to 2 to
+            match the double-buffered frame store of the topology.
+        ordering: Channel ordering to simulate under (default declaration
+            order).  The ordering affects timing, never the bitstream.
+    """
+    if not frames:
+        raise SimulationError("cannot encode an empty sequence")
+    config = config or EncoderConfig()
+    fmt = frames[0].format
+    gray = gray_frame(fmt)
+
+    behaviors = _build_behaviors(frames, fmt, config)
+    initial_payloads = {
+        "ref_win_coarse": (gray.y, gray.y),
+        "ref_win_refine": (gray.y, gray.y),
+        "ref_mb": (gray.y, gray.y),
+        "ref_mb_chroma": ((gray.cb, gray.cr), (gray.cb, gray.cr)),
+    }
+    simulator = Simulator(
+        build_mpeg2_system(),
+        ordering=ordering,
+        behaviors=behaviors,
+        initial_payloads=initial_payloads,
+    )
+    result = simulator.run(iterations=len(frames), watch="Psnk")
+    bits = "".join(result.sink_payloads["Psnk"])
+    return FunctionalRun(bitstream=_bits_to_bytes(bits), simulation=result)
+
+
+def _bits_to_bytes(bits: str) -> bytes:
+    if len(bits) % 8:
+        raise SimulationError("packer output is not byte aligned")
+    return bytes(int(bits[i : i + 8], 2) for i in range(0, len(bits), 8))
+
+
+# ---------------------------------------------------------------------------
+# Behaviours (one per process; signature: (iteration, inputs) -> outputs)
+# ---------------------------------------------------------------------------
+
+def _build_behaviors(
+    frames: list[Frame], fmt: VideoFormat, config: EncoderConfig
+) -> dict[str, Any]:
+    mb_rows, mb_cols = fmt.mb_rows, fmt.mb_cols
+    n_mbs = fmt.macroblocks
+
+    def source(k: int, _inputs: Mapping[str, Any]) -> dict[str, Any]:
+        # Cyclic testbench: the source may legitimately run one iteration
+        # ahead of the measured window before its put blocks.
+        return {"vin": frames[k % len(frames)]}
+
+    def frame_reader(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        frame = inputs["vin"]
+        meta = {"index": k, "mb_rows": mb_rows, "mb_cols": mb_cols}
+        return {"cur_mb": frame, "frame_meta": meta, "frame_budget": None}
+
+    def gop_control(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        meta = dict(inputs["frame_meta"])
+        meta["intra"] = meta["index"] % config.gop_size == 0
+        return {
+            name: meta
+            for name in (
+                "pic_type_me",
+                "pic_type_hdr",
+                "pic_type_res",
+                "pic_type_rc",
+                "pic_type_mv",
+                "pic_type_mc",
+                "pic_type_vlc",
+                "pic_type_mux",
+            )
+        }
+
+    def mb_dispatch(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        frame = inputs["cur_mb"]
+        return {
+            "mb_luma_me": frame.y,
+            "mb_luma_refine": frame.y,
+            "mb_luma_cur": frame.y,
+            "mb_chroma_cur": (frame.cb, frame.cr),
+            "mb_position": list(range(n_mbs)),
+            "mb_addr": list(range(n_mbs)),
+        }
+
+    def me_coarse(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        intra = inputs["pic_type_me"]["intra"]
+        current = inputs["mb_luma_me"]
+        reference = inputs["ref_win_coarse"]
+        vectors = []
+        if intra:
+            vectors = [MotionVector(0, 0)] * n_mbs
+        else:
+            for row in range(mb_rows):
+                for col in range(mb_cols):
+                    cur = current[row * 16 : row * 16 + 16,
+                                  col * 16 : col * 16 + 16]
+                    if config.me_mode == "two_stage":
+                        mv, __ = coarse_search(
+                            cur, reference, row, col,
+                            config.search_range, config.me_step,
+                        )
+                    else:
+                        mv, __ = full_search_fast(
+                            cur, reference, row, col, config.search_range
+                        )
+                    vectors.append(mv)
+        return {"mv_coarse": {"vectors": vectors, "intra": intra},
+                "activity": None}
+
+    def me_refine(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        payload = inputs["mv_coarse"]
+        vectors = payload["vectors"]
+        if payload["intra"] or (
+            config.me_mode != "two_stage" and not config.half_pel
+        ):
+            # Intra frames carry zero vectors (no search in the reference
+            # encoder either); single-stage integer configurations pass
+            # through.  The process still synchronizes on its reference
+            # window and macroblocks, which is what matters for timing.
+            return {"mv_raw": vectors, "me_cost": None}
+        current = inputs["mb_luma_refine"]
+        reference = inputs["ref_win_refine"]
+        refined = []
+        index = 0
+        for row in range(mb_rows):
+            for col in range(mb_cols):
+                cur = current[row * 16 : row * 16 + 16,
+                              col * 16 : col * 16 + 16]
+                mv = vectors[index]
+                if config.me_mode == "two_stage":
+                    mv, __ = refine_search(
+                        cur, reference, row, col, mv, config.refine_range
+                    )
+                if config.half_pel:
+                    mv, __ = halfpel_refine(cur, reference, row, col, mv)
+                refined.append(mv)
+                index += 1
+        return {"mv_raw": refined, "me_cost": None}
+
+    def mv_predict(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        intra = inputs["pic_type_mv"]["intra"]
+        vectors = inputs["mv_raw"]
+        diffs: list[tuple[int, int]] = []
+        if not intra:
+            index = 0
+            for row in range(mb_rows):
+                prev = MotionVector(0, 0)
+                for col in range(mb_cols):
+                    mv = vectors[index]
+                    diffs.append((mv.dx - prev.dx, mv.dy - prev.dy))
+                    prev = mv
+                    index += 1
+        return {"mv_final_mc": vectors, "mv_diff": diffs, "mb_mode": None}
+
+    def motion_comp(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        intra = inputs["pic_type_mc"]["intra"]
+        vectors = inputs["mv_final_mc"]
+        ref_y = inputs["ref_mb"]
+        ref_cb, ref_cr = inputs["ref_mb_chroma"]
+        pred_y = np.full((fmt.height, fmt.width), 128, dtype=np.int32)
+        pred_cb = np.full((fmt.height // 2, fmt.width // 2), 128, dtype=np.int32)
+        pred_cr = np.full_like(pred_cb, 128)
+        if not intra:
+            index = 0
+            for row in range(mb_rows):
+                for col in range(mb_cols):
+                    mv = vectors[index]
+                    y0, x0 = row * 16, col * 16
+                    c0, cx0 = row * 8, col * 8
+                    if config.half_pel:
+                        pred_y[y0 : y0 + 16, x0 : x0 + 16] = (
+                            predict_macroblock_halfpel(ref_y, row, col, mv)
+                        )
+                        pred_cb[c0 : c0 + 8, cx0 : cx0 + 8] = (
+                            predict_chroma_halfpel(ref_cb, row, col, mv)
+                        )
+                        pred_cr[c0 : c0 + 8, cx0 : cx0 + 8] = (
+                            predict_chroma_halfpel(ref_cr, row, col, mv)
+                        )
+                    else:
+                        pred_y[y0 : y0 + 16, x0 : x0 + 16] = (
+                            predict_macroblock(ref_y, row, col, mv)
+                        )
+                        pred_cb[c0 : c0 + 8, cx0 : cx0 + 8] = (
+                            predict_chroma(ref_cb, row, col, mv)
+                        )
+                        pred_cr[c0 : c0 + 8, cx0 : cx0 + 8] = (
+                            predict_chroma(ref_cr, row, col, mv)
+                        )
+                    index += 1
+        prediction = {"y": pred_y, "cb": pred_cb, "cr": pred_cr}
+        return {"pred_mb": prediction, "pred_mb_rec": prediction}
+
+    def residual(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        intra = inputs["pic_type_res"]["intra"]
+        cur_y = inputs["mb_luma_cur"]
+        cur_cb, cur_cr = inputs["mb_chroma_cur"]
+        pred = inputs["pred_mb"]
+        res_y = cur_y.astype(np.int32) - pred["y"]
+        res_cb = cur_cb.astype(np.int32) - pred["cb"]
+        res_cr = cur_cr.astype(np.int32) - pred["cr"]
+        luma_blocks = np.stack(
+            [
+                blocks_of_macroblock(
+                    res_y[row * 16 : row * 16 + 16, col * 16 : col * 16 + 16]
+                )
+                for row in range(mb_rows)
+                for col in range(mb_cols)
+            ]
+        )
+        cb_blocks = np.stack(
+            [
+                res_cb[row * 8 : row * 8 + 8, col * 8 : col * 8 + 8]
+                for row in range(mb_rows)
+                for col in range(mb_cols)
+            ]
+        )
+        cr_blocks = np.stack(
+            [
+                res_cr[row * 8 : row * 8 + 8, col * 8 : col * 8 + 8]
+                for row in range(mb_rows)
+                for col in range(mb_cols)
+            ]
+        )
+        return {
+            "res_luma": {"blocks": luma_blocks, "intra": intra},
+            "res_chroma": {"cb": cb_blocks, "cr": cr_blocks, "intra": intra},
+            "mb_energy": None,
+        }
+
+    def dct_luma(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        payload = inputs["res_luma"]
+        return {
+            "coef_luma": {
+                "coefficients": dct2(payload["blocks"].astype(np.float64)),
+                "intra": payload["intra"],
+            }
+        }
+
+    def dct_chroma(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        payload = inputs["res_chroma"]
+        return {
+            "coef_chroma": {
+                "cb": dct2(payload["cb"].astype(np.float64)),
+                "cr": dct2(payload["cr"].astype(np.float64)),
+                "intra": payload["intra"],
+            }
+        }
+
+    # Rate control carries the quantiser-scale state across frames,
+    # replicating Encoder._rate_control against the bit count fed back
+    # from the packer (one frame behind, thanks to the pre-loaded token).
+    qscale_state = {"qscale": config.qscale}
+
+    def rate_control(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        bits = inputs["bit_count"]
+        target = config.target_bits_per_frame
+        if bits is not None and target is not None:
+            if bits > target:
+                qscale_state["qscale"] = min(
+                    MAX_QSCALE, qscale_state["qscale"] + 1
+                )
+            elif bits < 0.8 * target:
+                qscale_state["qscale"] = max(
+                    MIN_QSCALE, qscale_state["qscale"] - 1
+                )
+        qscale = qscale_state["qscale"]
+        return {
+            "qscale_l": qscale,
+            "qscale_c": qscale,
+            "qscale_il": qscale,
+            "qscale_ic": qscale,
+            "qscale_hdr": qscale,
+        }
+
+    def quant_luma(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        payload = inputs["coef_luma"]
+        qscale = inputs["qscale_l"]
+        levels = quantize(payload["coefficients"], qscale, intra=payload["intra"])
+        out = {"levels": levels, "intra": payload["intra"], "qscale": qscale}
+        return {"q_luma": out, "q_luma_rec": out, "q_stats_l": None}
+
+    def quant_chroma(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        payload = inputs["coef_chroma"]
+        qscale = inputs["qscale_c"]
+        out = {
+            "cb": quantize(payload["cb"], qscale, intra=payload["intra"]),
+            "cr": quantize(payload["cr"], qscale, intra=payload["intra"]),
+            "intra": payload["intra"],
+            "qscale": qscale,
+        }
+        return {"q_chroma": out, "q_chroma_rec": out, "q_stats_c": None}
+
+    def zigzag_luma(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        payload = inputs["q_luma"]
+        pairs = [
+            [run_level_encode(scan(block)) for block in mb_blocks]
+            for mb_blocks in payload["levels"]
+        ]
+        return {"rl_luma": {"pairs": pairs, "intra": payload["intra"]}}
+
+    def zigzag_chroma(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        payload = inputs["q_chroma"]
+        return {
+            "rl_chroma": {
+                "cb": [run_level_encode(scan(b)) for b in payload["cb"]],
+                "cr": [run_level_encode(scan(b)) for b in payload["cr"]],
+                "intra": payload["intra"],
+            }
+        }
+
+    def vlc_coeff(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        luma = inputs["rl_luma"]["pairs"]
+        cb = inputs["rl_chroma"]["cb"]
+        cr = inputs["rl_chroma"]["cr"]
+        chunks = []
+        for mb in range(n_mbs):
+            writer = BitWriter()
+            for block_pairs in luma[mb]:
+                encode_block(writer, block_pairs)
+            encode_block(writer, cb[mb])
+            encode_block(writer, cr[mb])
+            chunks.append(writer.getbits())
+        return {"bits_coeff": chunks}
+
+    def vlc_mv(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        diffs = inputs["mv_diff"]
+        chunks = []
+        for ddx, ddy in diffs:
+            writer = BitWriter()
+            encode_motion_vector(writer, ddx, ddy)
+            chunks.append(writer.getbits())
+        return {"bits_mv": chunks}  # empty list for I frames
+
+    def header_gen(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        meta = inputs["pic_type_hdr"]
+        qscale = inputs["qscale_hdr"]
+        writer = BitWriter()
+        write_ue(writer, meta["index"])
+        write_ue(writer, 1 if meta["intra"] else 0)
+        write_ue(writer, qscale)
+        write_ue(writer, 1 if config.half_pel else 0)
+        return {
+            "bits_hdr": writer.getbits(),
+            "cbp": None,
+            "align_ctrl": None,
+        }
+
+    def bitstream_mux(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        intra = inputs["pic_type_mux"]["intra"]
+        header = inputs["bits_hdr"]
+        coeff = inputs["bits_coeff"]
+        mv = inputs["bits_mv"]
+        pieces = [header]
+        for mb in range(n_mbs):
+            if not intra:
+                pieces.append(mv[mb])
+            pieces.append(coeff[mb])
+        return {"bits_all": "".join(pieces)}
+
+    def bit_packer(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        bits = inputs["bits_all"]
+        if len(bits) % 8:
+            bits += "0" * (8 - len(bits) % 8)
+        return {"vout": bits, "bit_count": len(bits)}
+
+    def iquant_luma(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        payload = inputs["q_luma_rec"]
+        qscale = inputs["qscale_il"]
+        coefficients = dequantize(
+            payload["levels"], qscale, intra=payload["intra"]
+        )
+        return {"rq_luma": coefficients}
+
+    def iquant_chroma(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        payload = inputs["q_chroma_rec"]
+        qscale = inputs["qscale_ic"]
+        return {
+            "rq_chroma": {
+                "cb": dequantize(payload["cb"], qscale, intra=payload["intra"]),
+                "cr": dequantize(payload["cr"], qscale, intra=payload["intra"]),
+            }
+        }
+
+    def idct_luma(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            "rec_luma": np.round(idct2(inputs["rq_luma"])).astype(np.int32)
+        }
+
+    def idct_chroma(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        payload = inputs["rq_chroma"]
+        return {
+            "rec_chroma": {
+                "cb": np.round(idct2(payload["cb"])).astype(np.int32),
+                "cr": np.round(idct2(payload["cr"])).astype(np.int32),
+            }
+        }
+
+    def reconstruct(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        res_luma = inputs["rec_luma"]  # (n_mbs, 4, 8, 8)
+        res_chroma = inputs["rec_chroma"]
+        pred = inputs["pred_mb_rec"]
+        rec_y = np.zeros((fmt.height, fmt.width), dtype=np.int32)
+        rec_cb = np.zeros((fmt.height // 2, fmt.width // 2), dtype=np.int32)
+        rec_cr = np.zeros_like(rec_cb)
+        index = 0
+        for row in range(mb_rows):
+            for col in range(mb_cols):
+                y0, x0 = row * 16, col * 16
+                c0, cx0 = row * 8, col * 8
+                rec_y[y0 : y0 + 16, x0 : x0 + 16] = np.clip(
+                    macroblock_of_blocks(res_luma[index])
+                    + pred["y"][y0 : y0 + 16, x0 : x0 + 16],
+                    0,
+                    255,
+                )
+                rec_cb[c0 : c0 + 8, cx0 : cx0 + 8] = np.clip(
+                    res_chroma["cb"][index]
+                    + pred["cb"][c0 : c0 + 8, cx0 : cx0 + 8],
+                    0,
+                    255,
+                )
+                rec_cr[c0 : c0 + 8, cx0 : cx0 + 8] = np.clip(
+                    res_chroma["cr"][index]
+                    + pred["cr"][c0 : c0 + 8, cx0 : cx0 + 8],
+                    0,
+                    255,
+                )
+                index += 1
+        frame = Frame(
+            y=np.clip(rec_y, 0, 255).astype(np.uint8),
+            cb=np.clip(rec_cb, 0, 255).astype(np.uint8),
+            cr=np.clip(rec_cr, 0, 255).astype(np.uint8),
+        )
+        return {"rec_mb": frame}
+
+    def frame_store(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        frame = inputs["rec_mb"]
+        return {
+            "ref_win_coarse": frame.y,
+            "ref_win_refine": frame.y,
+            "ref_mb": frame.y,
+            "ref_mb_chroma": (frame.cb, frame.cr),
+        }
+
+    def sink(k: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+        return {}
+
+    return {
+        "Psrc": source,
+        "frame_reader": frame_reader,
+        "gop_control": gop_control,
+        "mb_dispatch": mb_dispatch,
+        "me_coarse": me_coarse,
+        "me_refine": me_refine,
+        "mv_predict": mv_predict,
+        "motion_comp": motion_comp,
+        "residual": residual,
+        "dct_luma": dct_luma,
+        "dct_chroma": dct_chroma,
+        "rate_control": rate_control,
+        "quant_luma": quant_luma,
+        "quant_chroma": quant_chroma,
+        "zigzag_luma": zigzag_luma,
+        "zigzag_chroma": zigzag_chroma,
+        "vlc_coeff": vlc_coeff,
+        "vlc_mv": vlc_mv,
+        "header_gen": header_gen,
+        "bitstream_mux": bitstream_mux,
+        "bit_packer": bit_packer,
+        "iquant_luma": iquant_luma,
+        "iquant_chroma": iquant_chroma,
+        "idct_luma": idct_luma,
+        "idct_chroma": idct_chroma,
+        "reconstruct": reconstruct,
+        "frame_store": frame_store,
+        "Psnk": sink,
+    }

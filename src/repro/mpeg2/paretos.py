@@ -1,0 +1,179 @@
+"""Pareto-optimal implementation sets for the MPEG-2 case study.
+
+Table 1 reports 171 Pareto points over the 26 processes, derived by the
+compositional HLS pre-characterization of Liu & Carloni.  Without the
+commercial flow we generate frontiers parametrically: per process, a
+point count, a slowest-implementation latency, a latency spread (how much
+the fastest point gains), a smallest-implementation area, and an area
+spread, swept along a smooth convex trade-off curve
+
+    ``latency_k = slowest / spread^(k/(n-1))``
+    ``area_k    = smallest · area_spread^((k/(n-1))^γ)``
+
+with ``γ > 1`` so speed gets progressively more expensive — the standard
+shape of unroll/pipeline frontiers.  Counts sum to exactly 171.
+
+Calibration targets (paper anchors):
+
+* ``M1`` (fastest implementation everywhere): CT ≈ 1,906 KCycles, area
+  ≈ 2.267 mm²;
+* ``M2`` (smallest implementation everywhere): CT ≈ 3,597 KCycles, area
+  ≈ 1.562 mm².
+
+Areas are in µm² (1 mm² = 1e6 µm²).  Latencies are cycles per frame.
+"""
+
+from __future__ import annotations
+
+from repro.hls.implementation import Implementation
+from repro.hls.pareto import ImplementationLibrary, ParetoSet
+
+#: Per-process frontier parameters:
+#: name -> (points, slowest latency, latency spread, smallest area µm²,
+#:          area spread)
+#:
+#: The latency calibration balances three structures so the paper's M1/M2
+#: dynamics emerge (see DESIGN.md):
+#:
+#: * the **rate-control loop** (rate_control → quant → zigzag → vlc → mux
+#:   → packer → rate_control, one pre-loaded token) sums to ≈1,906 KCycles
+#:   under the fastest implementations — the binding cycle of M1 under a
+#:   conservative ordering;
+#: * **me_coarse's own serial cycle** (compute + its channel transfers)
+#:   sits ≈5% lower — the floor ERMES's reordering exposes (the 5%
+#:   experiment);
+#: * the **frame-store loop** (2 pre-loaded tokens: double-buffered
+#:   reference memory) divided by its tokens stays just below the
+#:   rate-control loop for M1 and defines M2's ≈3,597 KCycles together
+#:   with the slowest rate-loop sum.
+FRONTIER_SPECS: dict[str, tuple[int, int, float, float, float]] = {
+    "me_coarse": (12, 3_474_000, 1.93, 158_000, 2.2),
+    "me_refine": (10, 456_000, 1.90, 73_000, 2.2),
+    "dct_luma": (10, 560_000, 2.00, 92_000, 2.2),
+    "dct_chroma": (8, 290_000, 2.00, 41_000, 2.2),
+    "idct_luma": (10, 481_000, 1.85, 89_000, 2.2),
+    "idct_chroma": (8, 250_000, 1.85, 40_000, 2.2),
+    "vlc_coeff": (10, 1_691_000, 1.90, 75_000, 2.2),
+    "quant_luma": (8, 570_000, 1.90, 38_000, 2.2),
+    "quant_chroma": (6, 285_000, 1.90, 20_000, 2.2),
+    "iquant_luma": (7, 323_000, 1.90, 33_000, 2.2),
+    "iquant_chroma": (6, 171_000, 1.90, 17_000, 2.2),
+    "motion_comp": (8, 342_000, 1.90, 53_000, 2.2),
+    "zigzag_luma": (6, 475_000, 1.90, 24_000, 2.2),
+    "zigzag_chroma": (5, 247_000, 1.90, 13_000, 2.2),
+    "residual": (6, 180_000, 1.80, 26_000, 2.2),
+    "reconstruct": (6, 180_000, 1.80, 28_000, 2.2),
+    "frame_store": (6, 192_000, 1.60, 63_000, 2.2),
+    "frame_reader": (5, 416_000, 1.60, 36_000, 2.2),
+    "mb_dispatch": (5, 155_000, 1.60, 25_000, 2.2),
+    "bitstream_mux": (5, 306_000, 1.70, 18_000, 2.2),
+    "bit_packer": (5, 204_000, 1.70, 16_000, 2.2),
+    "rate_control": (5, 104_000, 1.60, 16_000, 2.2),
+    "header_gen": (4, 83_000, 1.50, 12_000, 2.2),
+    "mv_predict": (4, 45_000, 1.50, 9_000, 2.2),
+    "vlc_mv": (3, 73_000, 1.45, 9_000, 2.2),
+    "gop_control": (3, 21_000, 1.40, 7_000, 2.2),
+}
+
+#: Convexity of area growth along the frontier.
+AREA_GAMMA = 1.6
+
+
+def frontier(
+    process: str,
+    points: int,
+    slowest_latency: int,
+    latency_spread: float,
+    smallest_area: float,
+    area_spread: float,
+    gamma: float = AREA_GAMMA,
+) -> ParetoSet:
+    """Generate one smooth convex Pareto frontier (see module docstring).
+
+    Point 0 is the smallest/slowest implementation, point ``n-1`` the
+    fastest/largest — mirroring how aggressive HLS knobs trade area for
+    latency.
+    """
+    implementations = []
+    for k in range(points):
+        t = k / (points - 1) if points > 1 else 0.0
+        latency = max(1, round(slowest_latency / (latency_spread**t)))
+        area = smallest_area * (area_spread ** (t**gamma))
+        implementations.append(
+            Implementation(
+                name=f"{process}.p{k}",
+                latency=latency,
+                area=round(area, 1),
+                knobs={"frontier_position": k},
+            )
+        )
+    return ParetoSet.from_points(process, implementations, filter_dominated=True)
+
+
+def build_mpeg2_library() -> ImplementationLibrary:
+    """The 171-point implementation library of Table 1."""
+    return ImplementationLibrary(
+        frontier(name, *spec) for name, spec in FRONTIER_SPECS.items()
+    )
+
+
+def m1_selection(library: ImplementationLibrary) -> dict[str, str]:
+    """M1: "the fastest implementations for the computational part of each
+    process" (best performance)."""
+    return {p: library.of(p).fastest.name for p in library.processes()}
+
+
+#: Frontier position of each process in the M2 configuration (index into
+#: the Pareto set; 0 = slowest/smallest).  M2 is a Pareto-optimal *system*
+#: implementation that trades performance for area: the dominant area hogs
+#: (the motion-estimation front end) sit at their smallest points while the
+#: mid-weight processes keep moderately fast implementations.  Positions
+#: are calibrated so M2's totals land on the paper's anchors
+#: (CT ≈ 3,597 KCycles, area ≈ 1.562 mm²).
+M2_POSITIONS: dict[str, int] = {
+    "me_coarse": 0,
+    "me_refine": 6,
+    "dct_luma": 7,
+    "dct_chroma": 5,
+    "idct_luma": 7,
+    "idct_chroma": 5,
+    "vlc_coeff": 7,
+    "quant_luma": 5,
+    "quant_chroma": 4,
+    "iquant_luma": 4,
+    "iquant_chroma": 4,
+    "motion_comp": 5,
+    "zigzag_luma": 4,
+    "zigzag_chroma": 3,
+    "residual": 4,
+    "reconstruct": 4,
+    "frame_store": 3,
+    "frame_reader": 3,
+    "mb_dispatch": 0,
+    "bitstream_mux": 3,
+    "bit_packer": 3,
+    "rate_control": 3,
+    "header_gen": 2,
+    "mv_predict": 2,
+    "vlc_mv": 1,
+    "gop_control": 1,
+}
+
+
+def m2_selection(library: ImplementationLibrary) -> dict[str, str]:
+    """M2: a Pareto-optimal system point trading performance for area.
+
+    ``M2_POSITIONS`` count from the *slowest/smallest* end of each
+    frontier; ``ParetoSet.points`` is sorted fastest-first, hence the
+    index flip.
+    """
+    selection = {}
+    for p in library.processes():
+        points = library.of(p).points
+        selection[p] = points[len(points) - 1 - M2_POSITIONS[p]].name
+    return selection
+
+
+def smallest_selection(library: ImplementationLibrary) -> dict[str, str]:
+    """The all-smallest configuration (the area floor of the library)."""
+    return {p: library.of(p).smallest.name for p in library.processes()}

@@ -1,0 +1,240 @@
+"""The MPEG-2 Encoder system topology (Table 1: 26 processes, 60 channels).
+
+The paper's case study is an MPEG-2 encoder refactored into 26 loosely-
+timed TLM processes over 60 blocking channels, plus two testbench
+processes.  The original SystemC source is not public; this module
+reconstructs a system-level block diagram with the same structural
+characteristics the paper calls out:
+
+* **reconvergent paths** — luma and chroma coding paths that fork at the
+  macroblock dispatcher and rejoin at the entropy coder; header, motion
+  and coefficient streams rejoining at the bitstream multiplexer;
+* **feedback loops** — the reconstruction loop through the frame store
+  (reference frames for motion estimation/compensation) and the rate-
+  control loop (bit counts steering the quantiser scale).  Feedback
+  channels carry one pre-loaded token (initialized reference memory /
+  initial quantiser), which is what makes them live under the blocking
+  protocol.
+
+One system iteration corresponds to one *frame*.  Channel latencies come
+from per-frame data volumes at 352×240 4:2:0 through the channel's
+physical width (:mod:`repro.hls.characterize`); they span [1, 5280]
+cycles with the maximum on the raw-video input, matching the paper's
+reported range.  Process latencies are placeholders at build time — the
+real values come from the Pareto library (:mod:`repro.mpeg2.paretos`).
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import SystemBuilder
+from repro.core.system import SystemGraph
+from repro.hls.characterize import (
+    FRAME_HEIGHT,
+    FRAME_WIDTH,
+    ChannelPhysics,
+    transfer_latency,
+)
+
+# Frame geometry (Table 1: 352x240 pixels).
+LUMA = 352 * 240  # 84,480
+CHROMA = LUMA // 4  # 21,120 per plane
+FRAME = LUMA + 2 * CHROMA  # 126,720
+MACROBLOCKS = (352 // 16) * (240 // 16)  # 330
+
+#: The 26 worker processes (build-time latencies are placeholders; the
+#: Pareto library supplies the real per-implementation values).
+PROCESS_NAMES = (
+    "frame_reader",
+    "mb_dispatch",
+    "gop_control",
+    "me_coarse",
+    "me_refine",
+    "mv_predict",
+    "motion_comp",
+    "residual",
+    "dct_luma",
+    "dct_chroma",
+    "quant_luma",
+    "quant_chroma",
+    "rate_control",
+    "zigzag_luma",
+    "zigzag_chroma",
+    "vlc_coeff",
+    "vlc_mv",
+    "header_gen",
+    "bitstream_mux",
+    "bit_packer",
+    "iquant_luma",
+    "iquant_chroma",
+    "idct_luma",
+    "idct_chroma",
+    "reconstruct",
+    "frame_store",
+)
+
+_NARROW = ChannelPhysics(elements_per_cycle=16)  # control/scalar channels
+_WIDE = ChannelPhysics(elements_per_cycle=32)  # pixel/coefficient streams
+_REF = ChannelPhysics(elements_per_cycle=64)  # reference-memory ports
+_VIN = ChannelPhysics(elements_per_cycle=24)  # raw video input port
+
+#: FIFO depth of the narrow control channels.  Scalar side-band tokens
+#: (picture types, quantiser scales, addresses) cross many pipeline stages;
+#: leaving them as pure rendezvous would couple the head and the tail of
+#: the datapath and cap the pipeline depth at the fan-out process — real
+#: interface libraries ship these as small FIFOs.  The heavy pixel and
+#: coefficient streams stay blocking rendezvous, which is where the
+#: paper's ordering problem lives.
+CONTROL_FIFO_DEPTH = 4
+
+#: Worker-to-worker channels:
+#: name -> (producer, consumer, per-frame elements, physics, initial tokens)
+CHANNEL_SPECS: dict[str, tuple[str, str, int, ChannelPhysics, int]] = {
+    # Frame input and dispatch.
+    "cur_mb": ("frame_reader", "mb_dispatch", FRAME, _WIDE, 0),
+    "frame_meta": ("frame_reader", "gop_control", 4, _NARROW, 0),
+    "frame_budget": ("frame_reader", "rate_control", 4, _NARROW, 0),
+    "mb_luma_me": ("mb_dispatch", "me_coarse", LUMA, _WIDE, 0),
+    "mb_luma_cur": ("mb_dispatch", "residual", LUMA, _WIDE, 0),
+    "mb_chroma_cur": ("mb_dispatch", "residual", 2 * CHROMA, _WIDE, 0),
+    "mb_position": ("mb_dispatch", "vlc_coeff", MACROBLOCKS, _NARROW, 0),
+    "mb_addr": ("mb_dispatch", "header_gen", MACROBLOCKS, _NARROW, 0),
+    # GOP control fan-out (picture type per macroblock).
+    "pic_type_me": ("gop_control", "me_coarse", MACROBLOCKS, _NARROW, 0),
+    "pic_type_hdr": ("gop_control", "header_gen", MACROBLOCKS, _NARROW, 0),
+    "pic_type_res": ("gop_control", "residual", MACROBLOCKS, _NARROW, 0),
+    "pic_type_rc": ("gop_control", "rate_control", MACROBLOCKS, _NARROW, 0),
+    "pic_type_mv": ("gop_control", "mv_predict", MACROBLOCKS, _NARROW, 0),
+    "pic_type_mc": ("gop_control", "motion_comp", MACROBLOCKS, _NARROW, 0),
+    "pic_type_vlc": ("gop_control", "vlc_coeff", MACROBLOCKS, _NARROW, 0),
+    "pic_type_mux": ("gop_control", "bitstream_mux", MACROBLOCKS, _NARROW, 0),
+    # Motion estimation pipeline.  Reference reads are feedback channels;
+    # the frame store is double-buffered (two pre-loaded reference frames),
+    # the standard design that lets frame N+1's front-end overlap frame
+    # N's reconstruction tail.
+    #
+    # NOTE the declaration order of me_refine's inputs — coarse vector
+    # first, then the reference window, then the current macroblock — is
+    # the natural authoring order ("refine around the coarse result") but
+    # serializes mb_dispatch behind me_coarse's full search: exactly the
+    # kind of accidental serialization the paper's Section 6 reports ERMES
+    # finding in M1 and removing by reordering (the 5% experiment).
+    "ref_win_coarse": ("frame_store", "me_coarse", 2 * LUMA, _REF, 2),
+    "mv_coarse": ("me_coarse", "me_refine", 2 * MACROBLOCKS, _NARROW, 0),
+    "ref_win_refine": ("frame_store", "me_refine", LUMA, _REF, 2),
+    "mb_luma_refine": ("mb_dispatch", "me_refine", LUMA, _WIDE, 0),
+    "activity": ("me_coarse", "rate_control", MACROBLOCKS, _NARROW, 0),
+    "mv_raw": ("me_refine", "mv_predict", 2 * MACROBLOCKS, _NARROW, 0),
+    "me_cost": ("me_refine", "rate_control", MACROBLOCKS, _NARROW, 0),
+    "mv_final_mc": ("mv_predict", "motion_comp", 2 * MACROBLOCKS, _NARROW, 0),
+    "mv_diff": ("mv_predict", "vlc_mv", 2 * MACROBLOCKS, _NARROW, 0),
+    "mb_mode": ("mv_predict", "header_gen", MACROBLOCKS, _NARROW, 0),
+    # Motion compensation (double-buffered reference, as above).
+    "ref_mb": ("frame_store", "motion_comp", LUMA, _REF, 2),
+    "ref_mb_chroma": ("frame_store", "motion_comp", 2 * CHROMA, _REF, 2),
+    "pred_mb": ("motion_comp", "residual", FRAME, _WIDE, 0),
+    "pred_mb_rec": ("motion_comp", "reconstruct", FRAME, _WIDE, 0),
+    # Residual and forward transform (luma/chroma reconvergent fork).
+    "res_luma": ("residual", "dct_luma", LUMA, _WIDE, 0),
+    "res_chroma": ("residual", "dct_chroma", 2 * CHROMA, _WIDE, 0),
+    "mb_energy": ("residual", "rate_control", MACROBLOCKS, _NARROW, 0),
+    "coef_luma": ("dct_luma", "quant_luma", LUMA, _WIDE, 0),
+    "coef_chroma": ("dct_chroma", "quant_chroma", 2 * CHROMA, _WIDE, 0),
+    # Rate control fan-out and its feedback inputs.
+    "qscale_l": ("rate_control", "quant_luma", MACROBLOCKS, _NARROW, 0),
+    "qscale_c": ("rate_control", "quant_chroma", MACROBLOCKS, _NARROW, 0),
+    "qscale_il": ("rate_control", "iquant_luma", MACROBLOCKS, _NARROW, 0),
+    "qscale_ic": ("rate_control", "iquant_chroma", MACROBLOCKS, _NARROW, 0),
+    "qscale_hdr": ("rate_control", "header_gen", MACROBLOCKS, _NARROW, 0),
+    "q_stats_l": ("quant_luma", "rate_control", MACROBLOCKS, _NARROW, 1),
+    "q_stats_c": ("quant_chroma", "rate_control", MACROBLOCKS, _NARROW, 1),
+    # Quantized coefficients: coding path and reconstruction path.
+    "q_luma": ("quant_luma", "zigzag_luma", LUMA, _WIDE, 0),
+    "q_chroma": ("quant_chroma", "zigzag_chroma", 2 * CHROMA, _WIDE, 0),
+    "q_luma_rec": ("quant_luma", "iquant_luma", LUMA, _WIDE, 0),
+    "q_chroma_rec": ("quant_chroma", "iquant_chroma", 2 * CHROMA, _WIDE, 0),
+    # Entropy coding (luma/chroma reconvergent join at vlc_coeff).
+    "rl_luma": ("zigzag_luma", "vlc_coeff", LUMA // 2, _WIDE, 0),
+    "rl_chroma": ("zigzag_chroma", "vlc_coeff", CHROMA, _WIDE, 0),
+    "cbp": ("header_gen", "vlc_coeff", MACROBLOCKS, _NARROW, 0),
+    "bits_coeff": ("vlc_coeff", "bitstream_mux", CHROMA, _WIDE, 0),
+    "bits_mv": ("vlc_mv", "bitstream_mux", 2 * MACROBLOCKS, _NARROW, 0),
+    "bits_hdr": ("header_gen", "bitstream_mux", 8 * MACROBLOCKS, _NARROW, 0),
+    "bits_all": ("bitstream_mux", "bit_packer", CHROMA + 2640, _WIDE, 0),
+    "align_ctrl": ("header_gen", "bit_packer", MACROBLOCKS, _NARROW, 0),
+    "bit_count": ("bit_packer", "rate_control", MACROBLOCKS, _NARROW, 1),
+    # Reconstruction loop back to the frame store.
+    "rq_luma": ("iquant_luma", "idct_luma", LUMA, _WIDE, 0),
+    "rq_chroma": ("iquant_chroma", "idct_chroma", 2 * CHROMA, _WIDE, 0),
+    "rec_luma": ("idct_luma", "reconstruct", LUMA, _WIDE, 0),
+    "rec_chroma": ("idct_chroma", "reconstruct", 2 * CHROMA, _WIDE, 0),
+    "rec_mb": ("reconstruct", "frame_store", FRAME, _WIDE, 0),
+}
+
+#: Testbench channels: raw video in (the paper's 5,280-cycle maximum) and
+#: the encoded stream out.
+TESTBENCH_SPECS: dict[str, tuple[str, str, int, ChannelPhysics, int]] = {
+    "vin": ("Psrc", "frame_reader", FRAME, _VIN, 0),
+    "vout": ("bit_packer", "Psnk", CHROMA + 2640, _WIDE, 0),
+}
+
+
+def FRAME_SPEC_ROWS(system, library, latencies) -> list[tuple[str, object]]:
+    """Table 1 rows regenerated from the built case study."""
+    worker_names = {p.name for p in system.workers()}
+    worker_channels = [
+        c
+        for c in system.channels
+        if c.producer in worker_names and c.consumer in worker_names
+    ]
+    return [
+        ("Processes", len(system.workers())),
+        ("Channels", len(worker_channels)),
+        ("Pareto points", library.total_points()),
+        ("Image size (pixels)", f"{FRAME_WIDTH}x{FRAME_HEIGHT}"),
+        (
+            "Channel latencies (cycles)",
+            f"{min(latencies.values())}..{max(latencies.values())}",
+        ),
+        ("Testbench processes", len(system.sources()) + len(system.sinks())),
+    ]
+
+
+def channel_latencies() -> dict[str, int]:
+    """Per-channel minimum transfer latencies (cycles per frame)."""
+    latencies = {}
+    for name, (_, __, elements, physics, ___) in {
+        **CHANNEL_SPECS,
+        **TESTBENCH_SPECS,
+    }.items():
+        latencies[name] = transfer_latency(elements, physics)
+    return latencies
+
+
+def build_mpeg2_system() -> SystemGraph:
+    """Build the 26-process / 60-channel encoder system (plus testbench).
+
+    Process latencies default to 1; apply an implementation selection from
+    the Pareto library (:mod:`repro.mpeg2.paretos`) via
+    ``SystemConfiguration`` or ``process_latencies=`` overrides before
+    analyzing performance.
+    """
+    builder = SystemBuilder("mpeg2_encoder")
+    builder.source("Psrc", latency=1)
+    for name in PROCESS_NAMES:
+        builder.process(name, latency=1)
+    builder.sink("Psnk", latency=1)
+
+    for name, (producer, consumer, elements, physics, tokens) in {
+        **CHANNEL_SPECS,
+        **TESTBENCH_SPECS,
+    }.items():
+        capacity = CONTROL_FIFO_DEPTH if physics is _NARROW else 0
+        builder.channel(
+            name,
+            producer,
+            consumer,
+            latency=transfer_latency(elements, physics),
+            capacity=max(capacity, tokens),
+            initial_tokens=tokens,
+        )
+    return builder.build()

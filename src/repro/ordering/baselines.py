@@ -1,0 +1,116 @@
+"""Baseline channel orderings to compare Algorithm 1 against.
+
+* :func:`declaration_ordering` — the order the designer wrote (Listing 1).
+* :func:`conservative_ordering` — the paper's "conservative ordering that
+  guarantees absence of deadlock but may introduce unnecessary
+  serialization": statements sorted by the position of the peer process in
+  a fixed topological order, so every process interacts with its neighbours
+  in one global sweep direction.
+* :func:`random_ordering` — a uniformly random permutation per process
+  (may deadlock; useful for sampling the order space).
+* :func:`reversed_ordering` — declaration order reversed (an adversarial
+  but deterministic baseline).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.core.system import ChannelOrdering, SystemGraph
+
+
+def declaration_ordering(system: SystemGraph) -> ChannelOrdering:
+    """The statement order of the source code."""
+    return ChannelOrdering.declaration_order(system)
+
+
+def reversed_ordering(system: SystemGraph) -> ChannelOrdering:
+    """Declaration order with every process's gets and puts reversed."""
+    return ChannelOrdering(
+        gets={
+            p.name: tuple(reversed(system.input_channels(p.name)))
+            for p in system.processes
+        },
+        puts={
+            p.name: tuple(reversed(system.output_channels(p.name)))
+            for p in system.processes
+        },
+    )
+
+
+def random_ordering(system: SystemGraph, seed: int = 0) -> ChannelOrdering:
+    """A uniformly random ordering (not guaranteed deadlock-free)."""
+    rng = random.Random(seed)
+    gets = {}
+    puts = {}
+    for p in system.processes:
+        ins = list(system.input_channels(p.name))
+        outs = list(system.output_channels(p.name))
+        rng.shuffle(ins)
+        rng.shuffle(outs)
+        gets[p.name] = tuple(ins)
+        puts[p.name] = tuple(outs)
+    return ChannelOrdering(gets=gets, puts=puts)
+
+
+def conservative_ordering(system: SystemGraph) -> ChannelOrdering:
+    """A deadlock-free but serializing ordering.
+
+    Processes are ranked by a topological order of the zero-token channel
+    graph (feedback channels with pre-loaded data do not constrain the
+    rank).  Each process then reads its inputs in ascending producer rank
+    and writes its outputs in ascending consumer rank, with channel
+    declaration position as tie-break.  Every process thus follows one
+    global sweep, which provably avoids circular waits but tends to chain
+    transfers that could overlap — the behaviour the paper attributes to
+    conservative hand-made orders.
+    """
+    rank = _topological_rank(system)
+    gets = {}
+    puts = {}
+    for p in system.processes:
+        ins = sorted(
+            system.input_channels(p.name),
+            key=lambda c: (rank[system.channel(c).producer], c),
+        )
+        outs = sorted(
+            system.output_channels(p.name),
+            key=lambda c: (rank[system.channel(c).consumer], c),
+        )
+        gets[p.name] = tuple(ins)
+        puts[p.name] = tuple(outs)
+    return ChannelOrdering(gets=gets, puts=puts)
+
+
+def _topological_rank(system: SystemGraph) -> dict[str, int]:
+    """Kahn topological rank over zero-token channels.
+
+    Vertices left over (on token-free cycles) are appended in name order;
+    such systems deadlock under every ordering anyway, but the baseline
+    should still return *an* ordering for diagnostic flows.
+    """
+    indegree: dict[str, int] = {p.name: 0 for p in system.processes}
+    for channel in system.channels:
+        if channel.initial_tokens == 0:
+            indegree[channel.consumer] += 1
+
+    queue = deque(sorted(name for name, d in indegree.items() if d == 0))
+    rank: dict[str, int] = {}
+    position = 0
+    while queue:
+        x = queue.popleft()
+        rank[x] = position
+        position += 1
+        for channel_name in system.output_channels(x):
+            channel = system.channel(channel_name)
+            if channel.initial_tokens != 0:
+                continue
+            indegree[channel.consumer] -= 1
+            if indegree[channel.consumer] == 0:
+                queue.append(channel.consumer)
+    for name in sorted(indegree):
+        if name not in rank:
+            rank[name] = position
+            position += 1
+    return rank

@@ -1,0 +1,54 @@
+"""Feedback-aware refinement: read pre-loaded channels first (ablation).
+
+An intuitively appealing refinement on systems with feedback loops: since
+pre-loaded (``initial_tokens > 0``) channels have data available from the
+start, hoist their gets to the front of each consumer's get order so the
+process "consumes what is ready" before blocking on fresh data.
+
+The TMG model shows the intuition buys almost nothing, which is itself a
+useful result (ablated in the benchmarks/tests):
+
+* **The chain token is position-independent.** The initial marking puts a
+  token in the first statement place (chain position 0).  A cycle either
+  crosses a process chain forward without wrapping (never touching
+  position 0, wherever the channels sit in the order) or wraps through the
+  loopback — and every wrap crosses position 0, collecting exactly one
+  token regardless of the get order.  Hoisting therefore does not move
+  tokens onto or off any through-path.
+* **It cannot create a deadlock.** Reordering gets does change which
+  get-to-get escape paths exist (a cycle can leave a process through a
+  later get's channel transition into that channel's producer), so new
+  cycles can appear — but every cycle newly enabled by hoisting enters
+  through a hoisted channel and hence traverses its data place, which
+  carries that channel's ``initial_tokens >= 1``.  Token-free cycles can
+  only disappear, never appear.
+* **Delay effects are marginal** — a few transfer cycles shuffled between
+  entry and exit statements.
+
+The transform is safe and order-preserving among unhoisted channels, and
+is kept as an ablation utility; the ERMES flow does not need it —
+Algorithm 1's weight-based ordering subsumes the useful part.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import ChannelOrdering, SystemGraph
+
+
+def feedback_first(
+    system: SystemGraph, ordering: ChannelOrdering
+) -> ChannelOrdering:
+    """Hoist pre-loaded input channels to the front of each get order."""
+    gets = {}
+    for name, order in ordering.gets.items():
+        preloaded = [c for c in order if system.channel(c).initial_tokens > 0]
+        rest = [c for c in order if system.channel(c).initial_tokens == 0]
+        gets[name] = tuple(preloaded + rest)
+    refined = ChannelOrdering(gets=gets, puts=dict(ordering.puts))
+    refined.validate(system)
+    return refined
+
+
+def has_preloaded_channels(system: SystemGraph) -> bool:
+    """True when the system has any pre-loaded (feedback) channel."""
+    return any(c.initial_tokens > 0 for c in system.channels)

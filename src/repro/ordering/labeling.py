@@ -1,0 +1,268 @@
+"""Forward and backward labeling passes of Algorithm 1 (Section 4).
+
+**Forward Labeling** traverses the system from the testbench sources with a
+FIFO queue.  When a vertex ``x`` is processed, each of its outgoing arcs is
+considered following ``x``'s current put order, and the arc *head* is
+labeled with ``(weight, timestamp)``:
+
+    weight = MaxInArcWeight(x) + SumOutArcLatency(x) + VertexLatency(x)
+
+where ``MaxInArcWeight`` is the maximum head weight among the labeled
+incoming arcs of ``x``, ``SumOutArcLatency`` the total latency of the arcs
+leaving ``x``, and the timestamp a global progressive counter.  A successor
+is enqueued when its last *gating* incoming arc has been visited.
+
+**Backward Labeling** mirrors the procedure from the sinks: when a vertex
+``x`` is processed, its incoming arcs are considered in ascending order of
+the *forward* timestamps on their heads, and each arc *tail* is labeled
+with
+
+    weight = MaxOutArcWeight(x) + SumInArcLatency(x) + VertexLatency(x)
+
+with a fresh progressive timestamp.  A predecessor is enqueued when its
+last gating outgoing arc has been visited.
+
+**Feedback loops.** The paper's pseudo-code assumes the quorum condition
+("last visiting arc") is eventually met for every vertex, which holds for
+DAGs.  Real systems (the paper's MPEG-2 included) contain feedback loops;
+those are live only when some channel on the loop carries pre-loaded data
+(``initial_tokens > 0``).  We therefore treat channels with initial tokens
+as *non-gating*: they do not hold back the traversal (their data is
+available from the start) and contribute to ``MaxInArcWeight`` only once
+labeled.  If the traversal still cannot reach every vertex, the remaining
+vertices lie on token-free cycles — no statement order can keep such a
+system live, so a :class:`~repro.errors.DeadlockError` is raised with the
+witness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.system import ChannelOrdering, ProcessKind, SystemGraph
+from repro.errors import DeadlockError, ValidationError
+
+
+@dataclass
+class ArcLabels:
+    """Labels accumulated on one channel (arc) by the two passes."""
+
+    head_weight: int | None = None
+    head_timestamp: int | None = None
+    tail_weight: int | None = None
+    tail_timestamp: int | None = None
+
+
+@dataclass
+class LabelingResult:
+    """Arc labels of a full forward+backward run, keyed by channel name."""
+
+    labels: dict[str, ArcLabels] = field(default_factory=dict)
+
+    def of(self, channel: str) -> ArcLabels:
+        return self.labels[channel]
+
+    def head(self, channel: str) -> tuple[int, int]:
+        """(weight, timestamp) placed on the arc head by Forward Labeling."""
+        arc = self.labels[channel]
+        if arc.head_weight is None or arc.head_timestamp is None:
+            raise ValidationError(f"channel {channel!r} was not forward-labeled")
+        return (arc.head_weight, arc.head_timestamp)
+
+    def tail(self, channel: str) -> tuple[int, int]:
+        """(weight, timestamp) placed on the arc tail by Backward Labeling."""
+        arc = self.labels[channel]
+        if arc.tail_weight is None or arc.tail_timestamp is None:
+            raise ValidationError(f"channel {channel!r} was not backward-labeled")
+        return (arc.tail_weight, arc.tail_timestamp)
+
+
+def forward_labeling(
+    system: SystemGraph,
+    initial_ordering: ChannelOrdering,
+    result: LabelingResult | None = None,
+) -> LabelingResult:
+    """Run the Forward Labeling pass (Algorithm 1, lines 6–21)."""
+    result = result if result is not None else _fresh_result(system)
+    timestamp = 1
+
+    sum_out_latency = {
+        p.name: sum(system.channel(c).latency for c in system.output_channels(p.name))
+        for p in system.processes
+    }
+    gating_in = {
+        p.name: sum(
+            1
+            for c in system.input_channels(p.name)
+            if system.channel(c).initial_tokens == 0
+        )
+        for p in system.processes
+    }
+    visited_in: dict[str, int] = {p.name: 0 for p in system.processes}
+    enqueued: set[str] = set()
+
+    queue: deque[str] = deque()
+    for process in system.processes:
+        if process.kind is ProcessKind.SOURCE:
+            queue.append(process.name)
+            enqueued.add(process.name)
+    # Vertices whose quorum is already met (every input is a pre-loaded
+    # feedback channel) have no upstream trigger: seed them explicitly.
+    # Closed systems (no testbench, e.g. expanded SDF rings) start from
+    # these seeds alone.
+    for process in system.processes:
+        if process.name not in enqueued and gating_in[process.name] == 0:
+            queue.append(process.name)
+            enqueued.add(process.name)
+    if not queue:
+        raise ValidationError(
+            f"system {system.name!r} has no testbench source and no "
+            "pre-loaded starting point for Forward Labeling"
+        )
+
+    while queue:
+        x = queue.popleft()
+        max_in = _max_head_weight(system, result, x)
+        weight = max_in + sum_out_latency[x] + system.process(x).latency
+        for channel_name in initial_ordering.puts_of(x):
+            channel = system.channel(channel_name)
+            y = channel.consumer
+            if channel.initial_tokens == 0:
+                visited_in[y] += 1
+            arc = result.labels[channel_name]
+            arc.head_weight = weight
+            arc.head_timestamp = timestamp
+            timestamp += 1
+            if y not in enqueued and visited_in[y] >= gating_in[y]:
+                enqueued.add(y)
+                queue.append(y)
+
+    unreached = [p.name for p in system.processes if p.name not in enqueued]
+    if unreached:
+        raise DeadlockError(
+            "forward labeling cannot reach processes "
+            f"{sorted(unreached)}: they lie on a dependency cycle with no "
+            "pre-loaded data, which deadlocks under every statement order",
+            cycle=sorted(unreached),
+        )
+    return result
+
+
+def backward_labeling(
+    system: SystemGraph,
+    result: LabelingResult,
+) -> LabelingResult:
+    """Run the Backward Labeling pass (mirror of Forward Labeling).
+
+    Must run after :func:`forward_labeling` on the same result: the order
+    in which a vertex's incoming arcs are considered is the ascending order
+    of their forward head timestamps.
+    """
+    timestamp = 1
+
+    sum_in_latency = {
+        p.name: sum(system.channel(c).latency for c in system.input_channels(p.name))
+        for p in system.processes
+    }
+    gating_out = {
+        p.name: sum(
+            1
+            for c in system.output_channels(p.name)
+            if system.channel(c).initial_tokens == 0
+        )
+        for p in system.processes
+    }
+    visited_out: dict[str, int] = {p.name: 0 for p in system.processes}
+    enqueued: set[str] = set()
+
+    queue: deque[str] = deque()
+    for process in system.processes:
+        if process.kind is ProcessKind.SINK:
+            queue.append(process.name)
+            enqueued.add(process.name)
+    # Mirror of the forward seeding: vertices whose every output is a
+    # pre-loaded feedback channel have no downstream trigger; closed
+    # systems start from them alone.
+    for process in system.processes:
+        if process.name not in enqueued and gating_out[process.name] == 0:
+            queue.append(process.name)
+            enqueued.add(process.name)
+    if not queue:
+        raise ValidationError(
+            f"system {system.name!r} has no testbench sink and no "
+            "pre-loaded starting point for Backward Labeling"
+        )
+
+    while queue:
+        x = queue.popleft()
+        max_out = _max_tail_weight(system, result, x)
+        weight = max_out + sum_in_latency[x] + system.process(x).latency
+        in_arcs = sorted(
+            system.input_channels(x),
+            key=lambda name: _forward_timestamp(result, name),
+        )
+        for channel_name in in_arcs:
+            channel = system.channel(channel_name)
+            w = channel.producer
+            if channel.initial_tokens == 0:
+                visited_out[w] += 1
+            arc = result.labels[channel_name]
+            arc.tail_weight = weight
+            arc.tail_timestamp = timestamp
+            timestamp += 1
+            if w not in enqueued and visited_out[w] >= gating_out[w]:
+                enqueued.add(w)
+                queue.append(w)
+
+    unreached = [p.name for p in system.processes if p.name not in enqueued]
+    if unreached:
+        raise DeadlockError(
+            "backward labeling cannot reach processes "
+            f"{sorted(unreached)}: they lie on a dependency cycle with no "
+            "pre-loaded data, which deadlocks under every statement order",
+            cycle=sorted(unreached),
+        )
+    return result
+
+
+def _fresh_result(system: SystemGraph) -> LabelingResult:
+    return LabelingResult(labels={c.name: ArcLabels() for c in system.channels})
+
+
+def _max_head_weight(
+    system: SystemGraph, result: LabelingResult, process: str
+) -> int:
+    """Maximum forward weight over the labeled incoming arcs of a vertex.
+
+    Arcs not yet labeled (feedback arcs whose tail is processed later)
+    contribute zero — their data is available at start-up, imposing no
+    arrival-time pressure.
+    """
+    best = 0
+    for channel_name in system.input_channels(process):
+        weight = result.labels[channel_name].head_weight
+        if weight is not None:
+            best = max(best, weight)
+    return best
+
+
+def _max_tail_weight(
+    system: SystemGraph, result: LabelingResult, process: str
+) -> int:
+    best = 0
+    for channel_name in system.output_channels(process):
+        weight = result.labels[channel_name].tail_weight
+        if weight is not None:
+            best = max(best, weight)
+    return best
+
+
+def _forward_timestamp(result: LabelingResult, channel: str) -> int:
+    ts = result.labels[channel].head_timestamp
+    if ts is None:
+        raise ValidationError(
+            f"channel {channel!r} has no forward timestamp; run "
+            "forward_labeling before backward_labeling"
+        )
+    return ts

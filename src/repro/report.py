@@ -1,0 +1,161 @@
+"""Design reports: one markdown document per analyzed design.
+
+Bundles everything the methodology knows about a system — topology
+statistics, deadlock status, performance and critical cycle, per-process
+sensitivities, the optimized ordering and its gain — into a single
+markdown report (``ermes report design.json``).  The equivalent of the
+datasheet a CAD tool prints at the end of a run.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping
+
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.errors import DeadlockError
+from repro.model.performance import analyze_system
+from repro.model.sensitivity import sensitivity_report
+from repro.ordering.algorithm import channel_ordering
+
+
+def _markdown_table(header: list[str], rows: list[list[str]]) -> str:
+    out = ["| " + " | ".join(header) + " |",
+           "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(out) + "\n"
+
+
+def design_report(
+    system: SystemGraph,
+    ordering: ChannelOrdering | None = None,
+    process_latencies: Mapping[str, int] | None = None,
+    include_sensitivity: bool = True,
+    sensitivity_limit: int = 10,
+) -> str:
+    """Produce the markdown report for one design configuration.
+
+    Args:
+        system: The system under report.
+        ordering: The ordering in force (default declaration order).
+        process_latencies: Optional latency overrides (an implementation
+            selection).
+        include_sensitivity: Add the per-process bottleneck table (costs
+            ``O(P log)`` analyses; disable for very large systems).
+        sensitivity_limit: Show at most this many processes in the
+            sensitivity table (most impactful first).
+    """
+    if ordering is None:
+        ordering = ChannelOrdering.declaration_order(system)
+    out = io.StringIO()
+    out.write(f"# Design report: {system.name}\n\n")
+
+    # ------------------------------------------------------------- topology
+    workers = system.workers()
+    out.write("## Topology\n\n")
+    out.write(_markdown_table(
+        ["metric", "value"],
+        [
+            ["processes", str(len(workers))],
+            ["testbench", f"{len(system.sources())} sources, "
+                          f"{len(system.sinks())} sinks"],
+            ["channels", str(len(system.channels))],
+            ["pre-loaded channels",
+             str(sum(1 for c in system.channels if c.initial_tokens))],
+            ["buffered channels",
+             str(sum(1 for c in system.channels if c.capacity))],
+            ["statement orderings", str(system.order_space_size())],
+        ],
+    ))
+    out.write("\n")
+
+    # ---------------------------------------------------------- performance
+    out.write("## Performance under the given ordering\n\n")
+    try:
+        performance = analyze_system(
+            system, ordering, process_latencies=process_latencies
+        )
+    except DeadlockError as error:
+        out.write("**DEADLOCK.**  Circular wait: "
+                  + " → ".join(error.cycle or []) + "\n\n")
+        performance = None
+    if performance is not None:
+        out.write(_markdown_table(
+            ["metric", "value"],
+            [
+                ["cycle time", str(performance.cycle_time)],
+                ["throughput", f"{float(performance.throughput):.6g} "
+                               "items/cycle"],
+                ["critical processes",
+                 ", ".join(performance.critical_processes) or "—"],
+                ["critical channels",
+                 ", ".join(performance.critical_channels) or "—"],
+            ],
+        ))
+        out.write("\n")
+
+    # ------------------------------------------------------------- ordering
+    out.write("## Algorithm 1 ordering\n\n")
+    optimized: ChannelOrdering | None = None
+    try:
+        optimized = channel_ordering(system, initial_ordering=ordering)
+        opt_perf = analyze_system(
+            system, optimized, process_latencies=process_latencies
+        )
+        changed = optimized.differs_from(ordering)
+        rows = [["cycle time after reordering", str(opt_perf.cycle_time)]]
+        if performance is not None:
+            gain = 1 - float(opt_perf.cycle_time) / float(
+                performance.cycle_time
+            )
+            rows.append(["improvement", f"{gain:.2%}"])
+        rows.append(["processes reordered",
+                     ", ".join(changed) if changed else "none"])
+        out.write(_markdown_table(["metric", "value"], rows))
+        out.write("\n")
+        if changed:
+            detail_rows = []
+            for name in changed:
+                detail_rows.append([
+                    name,
+                    " ".join(optimized.gets_of(name)),
+                    " ".join(optimized.puts_of(name)),
+                ])
+            out.write(_markdown_table(
+                ["process", "gets (new order)", "puts (new order)"],
+                detail_rows,
+            ))
+            out.write("\n")
+        reference = opt_perf
+    except DeadlockError as error:
+        out.write("Ordering failed: " + str(error) + "\n\n")
+        reference = performance
+
+    # ---------------------------------------------------------- sensitivity
+    if include_sensitivity and reference is not None:
+        out.write("## Bottlenecks (under the optimized ordering)\n\n")
+        sens = sensitivity_report(
+            system,
+            optimized if optimized is not None else ordering,
+            process_latencies=process_latencies,
+        )
+        entries = sorted(sens.entries, key=lambda e: -float(e.potential))
+        rows = [
+            [
+                e.process,
+                str(e.latency),
+                "yes" if e.on_critical_cycle else "no",
+                str(e.slack),
+                str(e.potential),
+            ]
+            for e in entries[:sensitivity_limit]
+        ]
+        out.write(_markdown_table(
+            ["process", "latency", "critical", "slack",
+             "speed-up potential"],
+            rows,
+        ))
+        out.write("\n")
+
+    return out.getvalue()

@@ -1,0 +1,190 @@
+"""Synchronous dataflow (SDF) graphs: the multirate front end.
+
+The paper's related work contrasts its three-phase processes with
+synchronous-dataflow design styles.  The two meet here: an SDF graph —
+actors firing with fixed token rates per port — can be compiled into the
+blocking-channel system model by homogeneous (single-rate) expansion, after
+which the paper's entire machinery (ordering, cycle time, sizing) applies.
+This module holds the SDF structure itself: rate-consistency via the
+balance equations and the repetition vector.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SdfActor:
+    """One SDF actor.
+
+    Attributes:
+        name: Unique identifier.
+        execution_time: Cycles per firing (the HLS latency of one firing).
+    """
+
+    name: str
+    execution_time: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("actor name must be non-empty")
+        if self.execution_time < 0:
+            raise ValidationError(
+                f"actor {self.name!r}: execution time must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class SdfEdge:
+    """A FIFO edge with production/consumption rates and initial tokens.
+
+    ``producer`` fires push ``production`` tokens; ``consumer`` fires pop
+    ``consumption`` tokens; ``delay`` tokens are present initially.
+    """
+
+    name: str
+    producer: str
+    consumer: str
+    production: int = 1
+    consumption: int = 1
+    delay: int = 0
+    latency: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("edge name must be non-empty")
+        if self.production < 1 or self.consumption < 1:
+            raise ValidationError(
+                f"edge {self.name!r}: rates must be >= 1"
+            )
+        if self.delay < 0:
+            raise ValidationError(f"edge {self.name!r}: delay must be >= 0")
+        if self.latency < 1:
+            raise ValidationError(f"edge {self.name!r}: latency must be >= 1")
+
+
+class SdfGraph:
+    """A synchronous dataflow graph."""
+
+    def __init__(self, name: str = "sdf"):
+        self.name = name
+        self._actors: dict[str, SdfActor] = {}
+        self._edges: dict[str, SdfEdge] = {}
+
+    # ------------------------------------------------------------------
+
+    def add_actor(self, name: str, execution_time: int = 1) -> SdfActor:
+        if name in self._actors:
+            raise ValidationError(f"duplicate actor {name!r}")
+        actor = SdfActor(name, execution_time)
+        self._actors[name] = actor
+        return actor
+
+    def add_edge(
+        self,
+        name: str,
+        producer: str,
+        consumer: str,
+        production: int = 1,
+        consumption: int = 1,
+        delay: int = 0,
+        latency: int = 1,
+    ) -> SdfEdge:
+        if name in self._edges:
+            raise ValidationError(f"duplicate edge {name!r}")
+        for endpoint in (producer, consumer):
+            if endpoint not in self._actors:
+                raise ValidationError(
+                    f"edge {name!r} references unknown actor {endpoint!r}"
+                )
+        edge = SdfEdge(name, producer, consumer, production, consumption,
+                       delay, latency)
+        self._edges[name] = edge
+        return edge
+
+    # ------------------------------------------------------------------
+
+    def actor(self, name: str) -> SdfActor:
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise ValidationError(f"unknown actor {name!r}") from None
+
+    def edge(self, name: str) -> SdfEdge:
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise ValidationError(f"unknown edge {name!r}") from None
+
+    @property
+    def actors(self) -> tuple[SdfActor, ...]:
+        return tuple(self._actors.values())
+
+    @property
+    def edges(self) -> tuple[SdfEdge, ...]:
+        return tuple(self._edges.values())
+
+    # ------------------------------------------------------------------
+
+    def repetition_vector(self) -> dict[str, int]:
+        """The smallest positive integer firing counts balancing every edge.
+
+        Solves ``production(e) · q[producer] = consumption(e) · q[consumer]``
+        by propagating rational ratios over the connected components and
+        scaling to the least common denominator.
+
+        Raises:
+            ValidationError: The rates are inconsistent (no balanced
+                repetition vector exists — the graph cannot run in bounded
+                memory).
+        """
+        if not self._actors:
+            raise ValidationError(f"SDF graph {self.name!r} has no actors")
+        ratio: dict[str, Fraction] = {}
+        for root in self._actors:
+            if root in ratio:
+                continue
+            ratio[root] = Fraction(1)
+            stack = [root]
+            while stack:
+                current = stack.pop()
+                for edge in self._edges.values():
+                    if edge.producer == current:
+                        implied = ratio[current] * edge.production / edge.consumption
+                        other = edge.consumer
+                    elif edge.consumer == current:
+                        implied = ratio[current] * edge.consumption / edge.production
+                        other = edge.producer
+                    else:
+                        continue
+                    if other in ratio:
+                        if ratio[other] != implied:
+                            raise ValidationError(
+                                f"SDF graph {self.name!r} is rate-inconsistent "
+                                f"at edge {edge.name!r}"
+                            )
+                    else:
+                        ratio[other] = implied
+                        stack.append(other)
+        denominator = math.lcm(*(r.denominator for r in ratio.values()))
+        counts = {name: int(r * denominator) for name, r in ratio.items()}
+        divisor = math.gcd(*counts.values())
+        return {name: count // divisor for name, count in counts.items()}
+
+    def is_consistent(self) -> bool:
+        """True iff a balanced repetition vector exists."""
+        try:
+            self.repetition_vector()
+        except ValidationError:
+            return False
+        return True
+
+    def firings_per_iteration(self) -> int:
+        """Total actor firings in one graph iteration (the HSDF size)."""
+        return sum(self.repetition_vector().values())

@@ -1,0 +1,37 @@
+"""Discrete-event simulator: the RTL/SystemC-simulation substitute.
+
+Executes a system cycle-accurately under the blocking rendezvous protocol
+(Fig. 2(b) FSM semantics) with optional functional payloads, measures
+throughput and stalls, and detects runtime deadlocks with a wait-for-cycle
+diagnosis.
+"""
+
+from repro.sim.channel import ChannelState, Rendezvous
+from repro.sim.engine import SimulationResult, Simulator, simulate
+from repro.sim.metrics import (
+    ProcessUtilization,
+    agreement_error,
+    throughput,
+    utilizations,
+)
+from repro.sim.process import Behavior, ProcessState, StallStats, token_behavior
+from repro.sim.trace import TraceEvent, TraceRecorder, format_trace
+
+__all__ = [
+    "Behavior",
+    "ChannelState",
+    "ProcessState",
+    "ProcessUtilization",
+    "Rendezvous",
+    "SimulationResult",
+    "Simulator",
+    "StallStats",
+    "TraceEvent",
+    "TraceRecorder",
+    "agreement_error",
+    "format_trace",
+    "simulate",
+    "throughput",
+    "token_behavior",
+    "utilizations",
+]

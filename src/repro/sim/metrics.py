@@ -1,0 +1,73 @@
+"""Metrics derived from simulation results.
+
+Bridges the simulator to the analytic model: steady-state throughput,
+per-process utilization, and agreement checks against the TMG cycle time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.sim.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class ProcessUtilization:
+    """Cycle budget breakdown of one process over the measured run."""
+
+    process: str
+    compute_cycles: int
+    stall_cycles: int
+    final_time: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed local time spent computing."""
+        if self.final_time == 0:
+            return 0.0
+        return self.compute_cycles / self.final_time
+
+    @property
+    def stall_fraction(self) -> float:
+        if self.final_time == 0:
+            return 0.0
+        return self.stall_cycles / self.final_time
+
+
+def throughput(result: SimulationResult, process: str) -> Fraction | None:
+    """Steady-state items per cycle at ``process`` (reciprocal of the
+    measured iteration period)."""
+    period = result.measured_cycle_time(process)
+    if period is None or period == 0:
+        return None
+    return 1 / period
+
+
+def utilizations(result: SimulationResult) -> dict[str, ProcessUtilization]:
+    """Per-process utilization summary."""
+    return {
+        name: ProcessUtilization(
+            process=name,
+            compute_cycles=result.compute_cycles[name],
+            stall_cycles=result.stall_cycles[name],
+            final_time=result.times[name],
+        )
+        for name in result.iterations
+    }
+
+
+def agreement_error(
+    result: SimulationResult, process: str, predicted_cycle_time: Fraction | float
+) -> float | None:
+    """Relative error between measured and predicted cycle time.
+
+    The headline validation of the reproduction: the TMG prediction and the
+    cycle-accurate simulation must agree (0.0 in exact steady state).
+    """
+    measured = result.measured_cycle_time(process)
+    if measured is None or predicted_cycle_time == 0:
+        return None
+    return abs(float(measured) - float(predicted_cycle_time)) / float(
+        predicted_cycle_time
+    )

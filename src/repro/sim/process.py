@@ -1,0 +1,87 @@
+"""Process execution state for the discrete-event simulator.
+
+Each process executes the Fig. 2(b) FSM: its statement chain (gets in
+order, computation, puts in order) repeated forever, with blocking I/O
+statements that stall until the rendezvous completes.  The simulator keeps
+one :class:`ProcessState` per process: a local clock, the current statement
+index, iteration counters, stall statistics, and the payload buffers the
+optional functional behaviour operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+#: A functional behaviour: ``(iteration, inputs by channel) -> outputs by
+#: channel``.  Sources receive an empty mapping; sinks may return one.
+Behavior = Callable[[int, Mapping[str, Any]], Mapping[str, Any]]
+
+
+def token_behavior(iteration: int, inputs: Mapping[str, Any]) -> dict[str, Any]:
+    """Default behaviour: pure synchronization, no payloads."""
+    return {}
+
+
+@dataclass
+class StallStats:
+    """Waiting time accumulated on one channel endpoint."""
+
+    cycles: int = 0
+    events: int = 0
+
+    def record(self, waited: int) -> None:
+        if waited > 0:
+            self.cycles += waited
+            self.events += 1
+
+
+@dataclass
+class ProcessState:
+    """Mutable simulation state of one process."""
+
+    name: str
+    chain: tuple[tuple[str, str], ...]  # (kind, channel-or-process)
+    latency: int
+    behavior: Behavior = token_behavior
+
+    time: int = 0
+    index: int = 0
+    iteration: int = 0
+    blocked_on: str | None = None  # channel name while waiting
+    compute_cycles: int = 0
+    completion_times: list[int] = field(default_factory=list)
+    stalls: dict[str, StallStats] = field(default_factory=dict)
+
+    # Payload staging for the functional mode.
+    inputs: dict[str, Any] = field(default_factory=dict)
+    outputs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def current(self) -> tuple[str, str]:
+        return self.chain[self.index]
+
+    @property
+    def blocked(self) -> bool:
+        return self.blocked_on is not None
+
+    def stall(self, channel: str, waited: int) -> None:
+        self.stalls.setdefault(channel, StallStats()).record(waited)
+
+    def advance_statement(self) -> None:
+        """Move to the next statement; bumps the iteration counter when the
+        chain wraps around."""
+        self.index += 1
+        if self.index == len(self.chain):
+            self.index = 0
+            self.iteration += 1
+            self.completion_times.append(self.time)
+            self.inputs = {}
+
+    def run_behavior(self) -> None:
+        """Invoke the functional behaviour at the computation statement."""
+        produced = self.behavior(self.iteration, dict(self.inputs))
+        self.outputs = dict(produced) if produced else {}
+
+    def total_stall_cycles(self) -> int:
+        return sum(s.cycles for s in self.stalls.values())

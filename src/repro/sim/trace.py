@@ -1,0 +1,59 @@
+"""Event traces for simulation debugging and reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulator event.
+
+    ``kind`` is one of ``compute``, ``put``, ``get``, ``block-put``,
+    ``block-get``; ``channel`` is ``None`` for compute events; ``time`` is
+    the process-local completion time of the event.
+    """
+
+    time: int
+    kind: str
+    process: str
+    channel: str | None
+    iteration: int
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records when enabled (no-op otherwise)."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+
+    def record(
+        self,
+        time: int,
+        kind: str,
+        process: str,
+        channel: str | None,
+        iteration: int,
+    ) -> None:
+        if self.enabled:
+            self._events.append(TraceEvent(time, kind, process, channel, iteration))
+
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(sorted(self._events, key=lambda e: (e.time, e.process)))
+
+
+def format_trace(events: Iterable[TraceEvent], limit: int = 100) -> str:
+    """Human-readable rendering of (the first ``limit``) trace events."""
+    lines = []
+    for i, event in enumerate(events):
+        if i >= limit:
+            lines.append(f"... ({i}+ events)")
+            break
+        where = f" {event.channel}" if event.channel else ""
+        lines.append(
+            f"[{event.time:>8}] {event.process:<12} {event.kind}{where} "
+            f"(iter {event.iteration})"
+        )
+    return "\n".join(lines)

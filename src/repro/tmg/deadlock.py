@@ -1,0 +1,73 @@
+"""Liveness / deadlock detection on Timed Marked Graphs.
+
+A strongly-connected TMG is live iff every cycle carries at least one token
+(Commoner et al., 1971 — reference [3] of the paper).  Since the token count
+of a cycle is invariant under firing, deadlock is a purely structural
+property of ``(F, M0)``: the system deadlocks iff the subgraph of
+*token-free* places contains a cycle.  That check is linear time — no
+simulation required — which is what makes the paper's analysis practical.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotLiveError
+from repro.tmg.event_graph import EventGraph, build_event_graph
+from repro.tmg.graph import TimedMarkedGraph
+
+
+def find_token_free_cycle(graph: EventGraph) -> list[str] | None:
+    """Return a token-free cycle as a transition-name list, or ``None``.
+
+    Runs a DFS over the subgraph of zero-token edges; the first back edge
+    found closes the witness cycle.
+    """
+    zero_succ: dict[str, list[str]] = {n: [] for n in graph.nodes}
+    for edge in graph.edges:
+        if edge.tokens == 0:
+            zero_succ[edge.source].append(edge.target)
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph.nodes}
+
+    for root in graph.nodes:
+        if color[root] != WHITE:
+            continue
+        # Iterative DFS keeping the gray path for cycle extraction.
+        path: list[str] = []
+        work: list[tuple[str, int]] = [(root, 0)]
+        color[root] = GRAY
+        path.append(root)
+        while work:
+            node, i = work[-1]
+            if i < len(zero_succ[node]):
+                work[-1] = (node, i + 1)
+                child = zero_succ[node][i]
+                if color[child] == GRAY:
+                    start = path.index(child)
+                    return path[start:]
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    path.append(child)
+                    work.append((child, 0))
+            else:
+                work.pop()
+                path.pop()
+                color[node] = BLACK
+    return None
+
+
+def is_live(tmg: TimedMarkedGraph) -> bool:
+    """True iff no token-free cycle exists under the initial marking."""
+    return find_token_free_cycle(build_event_graph(tmg)) is None
+
+
+def assert_live(tmg: TimedMarkedGraph) -> None:
+    """Raise :class:`~repro.errors.NotLiveError` with a witness cycle if the
+    TMG can deadlock."""
+    cycle = find_token_free_cycle(build_event_graph(tmg))
+    if cycle is not None:
+        raise NotLiveError(
+            "timed marked graph is not live: token-free cycle through "
+            + " -> ".join(cycle),
+            cycle=cycle,
+        )

@@ -1,0 +1,151 @@
+"""The timed token game: executing a TMG and measuring its cycle time.
+
+Besides the analytic cycle-time computation (Howard), the TMG can simply be
+*executed*.  Under the earliest-firing rule every transition fires as soon
+as all its input tokens are available; for a strongly connected TMG the
+k-th firing time of any transition grows asymptotically as ``π(G)·k``
+(max-plus linear systems enter a periodic regime).  Executing a few hundred
+iterations therefore provides an independent, simulation-style estimate of
+the cycle time — exactly the "time-consuming simulation" the paper's
+analytic model replaces, kept here as a cross-check oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.errors import ReproError
+from repro.tmg.graph import TimedMarkedGraph
+
+
+@dataclass
+class FiringRecord:
+    """Firing times of one transition under the earliest-firing rule."""
+
+    transition: str
+    start_times: list[int] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.start_times)
+
+
+def earliest_firing_times(
+    tmg: TimedMarkedGraph, iterations: int
+) -> dict[str, FiringRecord]:
+    """Compute the first ``iterations`` firing start times of every
+    transition under the earliest-firing (ASAP) semantics.
+
+    Uses the standard max-plus recurrence: the k-th firing of ``t`` starts
+    when, for every input place ``p`` (produced by ``u`` with marking
+    ``M0(p)``), the ``(k − M0(p))``-th completion of ``u`` has occurred
+    (firings with ``k ≤ M0(p)`` are covered by initial tokens, available at
+    time 0).
+
+    Implementation: event-driven propagation with a priority queue of
+    token-arrival events, linear in (iterations × places).
+    """
+    if iterations < 1:
+        raise ReproError("iterations must be >= 1")
+
+    # tokens_available[p] counts tokens present; arrival_times[p] is a FIFO
+    # of the times at which those tokens became available.
+    arrival_times: dict[str, list[int]] = {}
+    for place in tmg.places:
+        arrival_times[place.name] = [0] * place.tokens
+
+    fired: dict[str, int] = {t.name: 0 for t in tmg.transitions}
+    records = {t.name: FiringRecord(t.name) for t in tmg.transitions}
+
+    # Priority queue of candidate firings (time, transition), deduplicated
+    # per (transition, firing index, time): the readiness time of a fixed
+    # firing index only grows as more input tokens arrive, so remembering
+    # the last push suffices to avoid re-queueing identical events.
+    ready: list[tuple[int, str]] = []
+    last_push: dict[str, tuple[int, int]] = {}
+
+    def readiness(name: str, k: int) -> int | None:
+        """Earliest start of the k-th firing, or None if tokens missing."""
+        start = 0
+        for p in tmg.input_places(name):
+            times = arrival_times[p]
+            if len(times) <= k:
+                return None
+            start = max(start, times[k])
+        return start
+
+    def try_schedule(name: str) -> None:
+        k = fired[name]
+        if k >= iterations:
+            return
+        start = readiness(name, k)
+        if start is None:
+            return
+        if last_push.get(name) == (k, start):
+            return
+        last_push[name] = (k, start)
+        heapq.heappush(ready, (start, name))
+
+    for t in tmg.transitions:
+        try_schedule(t.name)
+
+    completed = 0
+    target = iterations * len(tmg.transitions)
+    guard = 0
+    # Distinct (transition, index, readiness) pushes are bounded by the
+    # token traffic; quadruple it for headroom.
+    guard_limit = (
+        4 * iterations * (len(tmg.places) + 2 * len(tmg.transitions)) + 64
+    )
+    while ready and completed < target:
+        guard += 1
+        if guard > guard_limit:
+            raise ReproError("earliest-firing execution exceeded its event budget")
+        start, name = heapq.heappop(ready)
+        k = fired[name]
+        if k >= iterations:
+            continue
+        actual = readiness(name, k)
+        if actual is None:
+            continue  # a future token arrival will reschedule
+        if actual > start:
+            if last_push.get(name) != (k, actual):
+                last_push[name] = (k, actual)
+                heapq.heappush(ready, (actual, name))
+            continue
+        records[name].start_times.append(actual)
+        fired[name] = k + 1
+        completed += 1
+        completion = actual + tmg.delay(name)
+        for p in tmg.output_places(name):
+            arrival_times[p].append(completion)
+            try_schedule(tmg.place(p).target)
+        try_schedule(name)
+    return records
+
+
+def measured_cycle_time(
+    tmg: TimedMarkedGraph,
+    iterations: int = 64,
+    transition: str | None = None,
+) -> Fraction | None:
+    """Estimate the cycle time by executing the TMG.
+
+    Measures the average separation between consecutive firings of one
+    transition over the second half of the execution (the first half warms
+    the transient out).  Returns ``None`` when the transition never reaches
+    enough firings (not live or starved).
+    """
+    records = earliest_firing_times(tmg, iterations)
+    name = transition or tmg.transition_names[0]
+    times = records[name].start_times
+    if len(times) < 4:
+        return None
+    half = len(times) // 2
+    span = times[-1] - times[half]
+    steps = len(times) - 1 - half
+    if steps <= 0:
+        return None
+    return Fraction(span, steps)

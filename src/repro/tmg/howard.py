@@ -1,0 +1,334 @@
+"""Howard's policy-iteration algorithm for the maximum cycle ratio.
+
+The paper computes the cycle time ``π(G)`` — the reciprocal of the minimum
+cycle mean of Definition 3 — with Howard's algorithm
+[Cochet-Terrasson et al. 1998], a policy-iteration scheme from the
+stochastic-control community that is, in practice, the fastest known
+minimum/maximum cycle ratio algorithm (Dasdan–Irani–Gupta).
+
+On the event graph (see :mod:`repro.tmg.event_graph`) the cycle time is the
+*maximum* ratio ``Σ delay / Σ tokens`` over cycles.  This module implements
+maximum-cycle-ratio policy iteration directly:
+
+* a *policy* selects one outgoing edge per node of a strongly connected
+  component;
+* *evaluation* finds the cycles of the policy's functional graph, giving
+  each node the ratio ``λ`` of the cycle it reaches and a potential ``v``
+  measuring its transient offset;
+* *improvement* switches a node's policy edge whenever a neighbour promises
+  a larger ``λ`` or, at equal ``λ``, a larger potential.
+
+With exact rational arithmetic (``fractions.Fraction``) the result is the
+exact cycle ratio; float mode trades exactness for speed on graphs with
+tens of thousands of nodes.
+
+Precondition: the graph has no token-free cycle (checked by callers via
+:mod:`repro.tmg.deadlock`); otherwise the ratio is unbounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+from repro.errors import NotLiveError, ReproError
+from repro.tmg.event_graph import Edge, EventGraph, strongly_connected_components
+
+Number = Union[Fraction, float]
+
+_FLOAT_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CycleRatioResult:
+    """Outcome of a maximum-cycle-ratio computation.
+
+    Attributes:
+        ratio: ``max_c Σdelay(c)/Σtokens(c)``; the system cycle time when
+            the graph models a live TMG.
+        cycle: Transition names around one critical cycle, in order.
+        places: Names of the contracted places along that cycle (one per
+            edge), in the same order.
+    """
+
+    ratio: Number
+    cycle: tuple[str, ...]
+    places: tuple[str, ...]
+
+
+def maximum_cycle_ratio(
+    graph: EventGraph, exact: bool = True
+) -> CycleRatioResult | None:
+    """Maximum cycle ratio of an event graph via Howard policy iteration.
+
+    Args:
+        graph: The event graph (delays on edges toward their target
+            transition, tokens from the contracted place).
+        exact: Use :class:`fractions.Fraction` arithmetic.  Float mode is
+            roughly 3-5x faster and adequate for large synthetic graphs.
+
+    Returns:
+        The best :class:`CycleRatioResult` over all strongly connected
+        components, or ``None`` if the graph is acyclic (no steady-state
+        constraint).
+
+    Raises:
+        NotLiveError: If a reachable cycle carries zero tokens.
+    """
+    best: CycleRatioResult | None = None
+    for component in strongly_connected_components(graph):
+        members = set(component)
+        succ = {
+            u: [e for e in graph.succ[u] if e.target in members] for u in component
+        }
+        if len(component) == 1 and not succ[component[0]]:
+            continue  # trivial SCC: no cycle through it
+        result = _howard_scc(component, succ, exact)
+        if best is None or result.ratio > best.ratio:
+            best = result
+    return best
+
+
+def _howard_scc(
+    nodes: list[str], succ: dict[str, list[Edge]], exact: bool
+) -> CycleRatioResult:
+    """Run policy iteration within one SCC (every node has an out-edge).
+
+    Policy iteration's potential-improvement step compares potentials that
+    are only anchored *per policy cycle*; when the policy graph carries two
+    or more equal-ratio cycles, those comparisons can flip-flop the policy
+    forever without changing the (already maximal) ratio.  The loop
+    therefore watches for stagnation — potential-only switches that stop
+    raising the best ratio — and completes with the provably terminating
+    cycle-ratio iteration: repeatedly look for a positive cycle under the
+    reweighting ``d − λ·m`` (Bellman–Ford) and, if one exists, adopt its
+    strictly larger ratio.  No positive cycle certifies optimality.
+    """
+    zero: Number = Fraction(0) if exact else 0.0
+    tol: Number = Fraction(0) if exact else _FLOAT_TOL
+
+    policy: dict[str, Edge] = {u: succ[u][0] for u in nodes}
+    max_iterations = 10 * len(nodes) + 1000
+    stagnation_limit = len(nodes) + 8
+
+    best_cycle: tuple[list[str], list[str]] = ([], [])
+    best_ratio: Number = zero
+    have_best = False
+    stagnant = 0
+    clean_convergence = False
+
+    for _ in range(max_iterations):
+        lam, pot, cycles = _evaluate_policy(nodes, policy, exact)
+        round_ratio, round_cycle = max(
+            ((ratio, cyc) for ratio, cyc in cycles), key=lambda item: item[0]
+        )
+        if not have_best or round_ratio > best_ratio:
+            best_ratio, best_cycle = round_ratio, round_cycle
+            have_best = True
+            stagnant = 0
+
+        improved = False
+        # First criterion: chase a strictly better cycle ratio.
+        for u in nodes:
+            for edge in succ[u]:
+                if lam[edge.target] > lam[u] + tol:
+                    policy[u] = edge
+                    lam[u] = lam[edge.target]
+                    improved = True
+        if improved:
+            stagnant = 0
+            continue
+        # Second criterion: same ratio, better potential.
+        for u in nodes:
+            for edge in succ[u]:
+                if lam[edge.target] != lam[u]:
+                    continue
+                candidate = (
+                    pot[edge.target] + edge.delay - lam[u] * edge.tokens
+                )
+                if candidate > pot[u] + tol:
+                    policy[u] = edge
+                    pot[u] = candidate
+                    improved = True
+        if not improved:
+            clean_convergence = True
+            break
+        stagnant += 1
+        if stagnant > stagnation_limit:
+            break
+
+    if not have_best:
+        raise ReproError(
+            "Howard policy iteration produced no cycle "
+            f"(SCC of {len(nodes)} nodes)"
+        )
+    if clean_convergence:
+        return CycleRatioResult(
+            ratio=best_ratio,
+            cycle=tuple(best_cycle[0]),
+            places=tuple(best_cycle[1]),
+        )
+    return _ratio_iteration_completion(
+        nodes, succ, best_ratio, best_cycle, exact
+    )
+
+
+def _ratio_iteration_completion(
+    nodes: list[str],
+    succ: dict[str, list[Edge]],
+    ratio: Number,
+    cycle: tuple[list[str], list[str]],
+    exact: bool,
+) -> CycleRatioResult:
+    """Exact completion: raise ``ratio`` through positive cycles until none
+    remains.  Each found cycle has a strictly larger ratio and ratios come
+    from the finite set of simple-cycle ratios, so this terminates."""
+    while True:
+        found = _find_positive_cycle(nodes, succ, ratio, exact)
+        if found is None:
+            return CycleRatioResult(
+                ratio=ratio, cycle=tuple(cycle[0]), places=tuple(cycle[1])
+            )
+        delay_sum = sum(e.delay for e in found)
+        token_sum = sum(e.tokens for e in found)
+        if token_sum == 0:
+            raise NotLiveError(
+                "event graph has a token-free cycle through "
+                + " -> ".join(e.source for e in found),
+                cycle=[e.source for e in found],
+            )
+        ratio = (
+            Fraction(delay_sum, token_sum) if exact else delay_sum / token_sum
+        )
+        cycle = ([e.source for e in found], [e.place for e in found])
+
+
+def _find_positive_cycle(
+    nodes: list[str],
+    succ: dict[str, list[Edge]],
+    lam: Number,
+    exact: bool,
+) -> list[Edge] | None:
+    """A cycle with ``Σ(delay − λ·tokens) > 0``, or ``None``.
+
+    Longest-path Bellman–Ford from an implicit all-zeros source with early
+    exit; when relaxation survives ``|V|`` rounds, the predecessor graph
+    contains the witness cycle.
+    """
+    zero: Number = Fraction(0) if exact else 0.0
+    tol = 0 if exact else _FLOAT_TOL
+    dist: dict[str, Number] = {u: zero for u in nodes}
+    pred: dict[str, Edge] = {}
+    member = set(nodes)
+
+    last_changed: str | None = None
+    for _ in range(len(nodes)):
+        changed = False
+        for u in nodes:
+            base = dist[u]
+            for edge in succ[u]:
+                if edge.target not in member:
+                    continue
+                candidate = base + edge.delay - lam * edge.tokens
+                if candidate > dist[edge.target] + tol:
+                    dist[edge.target] = candidate
+                    pred[edge.target] = edge
+                    changed = True
+                    last_changed = edge.target
+        if not changed:
+            return None
+
+    # Still relaxing after |V| rounds: walk back to land on the cycle.
+    assert last_changed is not None
+    node = last_changed
+    for _ in range(len(nodes)):
+        node = pred[node].source
+    cycle_edges: list[Edge] = []
+    cursor = node
+    while True:
+        edge = pred[cursor]
+        cycle_edges.append(edge)
+        cursor = edge.source
+        if cursor == node:
+            break
+    cycle_edges.reverse()
+    return cycle_edges
+
+
+def _evaluate_policy(
+    nodes: list[str], policy: dict[str, Edge], exact: bool
+) -> tuple[
+    dict[str, Number],
+    dict[str, Number],
+    list[tuple[Number, tuple[list[str], list[str]]]],
+]:
+    """Evaluate a policy: per-node cycle ratio ``λ`` and potential ``v``.
+
+    The policy's functional graph decomposes into cycles with in-trees
+    hanging off them.  Every node inherits the ratio of the cycle its
+    policy path reaches; potentials satisfy
+    ``v[u] = v[succ] + delay - λ·tokens`` with one node per cycle pinned
+    to 0.
+    """
+    lam: dict[str, Number] = {}
+    pot: dict[str, Number] = {}
+    cycles: list[tuple[Number, tuple[list[str], list[str]]]] = []
+
+    state: dict[str, int] = {}  # 0/absent = unvisited, 1 = on path, 2 = done
+
+    for root in nodes:
+        if state.get(root) == 2:
+            continue
+        # Walk the policy path until we hit a finished node or close a cycle.
+        path: list[str] = []
+        node = root
+        while state.get(node) is None:
+            state[node] = 1
+            path.append(node)
+            node = policy[node].target
+        if state[node] == 1:
+            # Closed a new cycle at `node`: evaluate it.
+            start = path.index(node)
+            cycle_nodes = path[start:]
+            delay_sum = 0
+            token_sum = 0
+            cycle_places = []
+            for u in cycle_nodes:
+                edge = policy[u]
+                delay_sum += edge.delay
+                token_sum += edge.tokens
+                cycle_places.append(edge.place)
+            if token_sum == 0:
+                raise NotLiveError(
+                    "event graph has a token-free cycle through "
+                    + " -> ".join(cycle_nodes),
+                    cycle=cycle_nodes,
+                )
+            ratio: Number
+            if exact:
+                ratio = Fraction(delay_sum, token_sum)
+            else:
+                ratio = delay_sum / token_sum
+            cycles.append((ratio, (cycle_nodes, cycle_places)))
+            # Pin the closing node, then propagate potentials backward
+            # around the cycle.
+            anchor = cycle_nodes[0]
+            lam[anchor] = ratio
+            pot[anchor] = Fraction(0) if exact else 0.0
+            for u in reversed(cycle_nodes[1:]):
+                edge = policy[u]
+                lam[u] = ratio
+                pot[u] = pot[edge.target] + edge.delay - ratio * edge.tokens
+            for u in cycle_nodes:
+                state[u] = 2
+        # Resolve the remaining path (tree part) in reverse order.
+        for u in reversed(path):
+            if state[u] == 2:
+                continue
+            edge = policy[u]
+            lam[u] = lam[edge.target]
+            pot[u] = pot[edge.target] + edge.delay - lam[u] * edge.tokens
+            state[u] = 2
+
+    return lam, pot, cycles

@@ -1,0 +1,74 @@
+"""Terminal plotting for exploration trajectories (the Fig. 6 panels).
+
+Pure-text rendering — no plotting dependency — of the two series the paper
+plots per exploration: cycle time and area against the iteration index,
+with the target-cycle-time constraint line.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dse.explorer import ExplorationResult
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return max(0, min(width - 1, round(position * (width - 1))))
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 48,
+    height: int = 10,
+    marker: str = "o",
+    hline: float | None = None,
+) -> str:
+    """Plot one series as ASCII, optionally with a horizontal rule."""
+    if not values:
+        return "(empty series)\n"
+    extent = list(values) + ([hline] if hline is not None else [])
+    lo = min(extent)
+    hi = max(extent)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    if hline is not None:
+        row = height - 1 - _scale(hline, lo, hi, height)
+        for col in range(width):
+            grid[row][col] = "-"
+
+    n = len(values)
+    for index, value in enumerate(values):
+        col = _scale(index, 0, max(1, n - 1), width)
+        row = height - 1 - _scale(value, lo, hi, height)
+        grid[row][col] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        level = hi - (hi - lo) * row_index / (height - 1)
+        lines.append(f"{level:>12.1f} |" + "".join(row))
+    lines.append(" " * 13 + "+" + "-" * width)
+    lines.append(" " * 14 + f"0 .. {n - 1} (iterations)")
+    return "\n".join(lines) + "\n"
+
+
+def plot_exploration(
+    result: ExplorationResult,
+    cycle_time_unit: float = 1.0,
+    area_unit: float = 1.0,
+    width: int = 48,
+) -> str:
+    """Render one exploration as the paper's two stacked panels."""
+    cycle_times = [float(r.cycle_time) / cycle_time_unit for r in result.history]
+    areas = [r.area / area_unit for r in result.history]
+    target = float(result.target_cycle_time) / cycle_time_unit
+
+    out = ["cycle time (constraint marked '-'):"]
+    out.append(ascii_series(cycle_times, width=width, hline=target))
+    out.append("area:")
+    out.append(ascii_series(areas, width=width, marker="x"))
+    return "\n".join(out)

@@ -1,0 +1,67 @@
+"""Shared fixtures: the paper's motivating example and small systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    SystemBuilder,
+    motivating_deadlock_ordering,
+    motivating_example,
+    motivating_optimal_ordering,
+    motivating_suboptimal_ordering,
+)
+
+
+@pytest.fixture(scope="session")
+def motivating():
+    """The Fig. 2 / Fig. 4 system with reconstructed latencies."""
+    return motivating_example()
+
+
+@pytest.fixture(scope="session")
+def deadlock_ordering(motivating):
+    return motivating_deadlock_ordering(motivating)
+
+
+@pytest.fixture(scope="session")
+def suboptimal_ordering(motivating):
+    return motivating_suboptimal_ordering(motivating)
+
+
+@pytest.fixture(scope="session")
+def optimal_ordering(motivating):
+    return motivating_optimal_ordering(motivating)
+
+
+@pytest.fixture()
+def tiny_pipeline():
+    """src -> A -> B -> snk with small latencies."""
+    return (
+        SystemBuilder("tiny")
+        .source("src", latency=1)
+        .process("A", latency=3)
+        .process("B", latency=2)
+        .sink("snk", latency=1)
+        .channel("i", "src", "A", latency=1)
+        .channel("x", "A", "B", latency=2)
+        .channel("o", "B", "snk", latency=1)
+        .build()
+    )
+
+
+@pytest.fixture()
+def feedback_system():
+    """A two-process loop kept live by one pre-loaded feedback channel."""
+    return (
+        SystemBuilder("fb")
+        .source("src", latency=1)
+        .process("A", latency=3)
+        .process("B", latency=2)
+        .sink("snk", latency=1)
+        .channel("i", "src", "A", latency=1)
+        .channel("x", "A", "B", latency=1)
+        .channel("y", "B", "A", latency=2, initial_tokens=1)
+        .channel("o", "B", "snk", latency=1)
+        .build()
+    )

@@ -1,0 +1,153 @@
+"""Tests for the builder and structural validation."""
+
+import pytest
+
+from repro.core import SystemBuilder, validate_system
+from repro.core.builder import system_from_tables
+from repro.errors import ValidationError
+
+
+class TestBuilder:
+    def test_fluent_build(self):
+        system = (
+            SystemBuilder("p")
+            .source("src")
+            .process("a", latency=5)
+            .sink("snk")
+            .channel("i", "src", "a", latency=2)
+            .channel("o", "a", "snk")
+            .build()
+        )
+        assert system.process("a").latency == 5
+        assert system.channel("i").latency == 2
+
+    def test_channels_varargs(self):
+        system = (
+            SystemBuilder()
+            .source("src")
+            .process("a")
+            .sink("snk")
+            .channels(("i", "src", "a", 3), ("o", "a", "snk"))
+            .build()
+        )
+        assert system.channel("i").latency == 3
+        assert system.channel("o").latency == 1
+
+    def test_build_validates_by_default(self):
+        builder = SystemBuilder().source("src").process("a").sink("snk")
+        builder.channel("i", "src", "a")
+        # worker 'a' has no outputs -> invalid
+        with pytest.raises(ValidationError):
+            builder.build()
+
+    def test_build_can_skip_validation(self):
+        builder = SystemBuilder().source("src").process("a").sink("snk")
+        builder.channel("i", "src", "a")
+        system = builder.build(validate=False)
+        assert system.has_process("a")
+
+    def test_initial_tokens_passthrough(self):
+        system = (
+            SystemBuilder()
+            .source("src")
+            .process("a")
+            .process("b")
+            .sink("snk")
+            .channel("i", "src", "a")
+            .channel("x", "a", "b")
+            .channel("y", "b", "a", initial_tokens=2)
+            .channel("o", "b", "snk")
+            .build()
+        )
+        assert system.channel("y").initial_tokens == 2
+
+
+class TestSystemFromTables:
+    def test_round_shape(self):
+        system = system_from_tables(
+            "t",
+            processes={"src": 1, "a": 4, "snk": 1},
+            channels={"i": ("src", "a", 2), "o": ("a", "snk", 1)},
+            sources=("src",),
+            sinks=("snk",),
+        )
+        assert system.process("a").latency == 4
+        assert [p.name for p in system.sources()] == ["src"]
+
+    def test_channel_declaration_order_is_dict_order(self):
+        system = system_from_tables(
+            "t",
+            processes={"src": 1, "a": 1, "snk": 1},
+            channels={
+                "i2": ("src", "a", 1),
+                "i1": ("src", "a", 1),
+                "o": ("a", "snk", 1),
+            },
+            sources=("src",),
+            sinks=("snk",),
+        )
+        assert system.input_channels("a") == ("i2", "i1")
+
+
+class TestValidation:
+    def _builder(self):
+        return SystemBuilder().source("src").process("a").sink("snk")
+
+    def test_valid_minimal_system(self, tiny_pipeline):
+        validate_system(tiny_pipeline)  # does not raise
+
+    def test_no_workers_rejected(self):
+        builder = SystemBuilder().source("src").sink("snk")
+        builder.channel("x", "src", "snk")
+        with pytest.raises(ValidationError, match="no worker"):
+            validate_system(builder._system)
+
+    def test_source_with_inputs_rejected(self):
+        builder = self._builder()
+        builder.channel("i", "src", "a")
+        builder.channel("o", "a", "snk")
+        builder.channel("bad", "a", "src")
+        with pytest.raises(ValidationError, match="source"):
+            validate_system(builder._system)
+
+    def test_sink_with_outputs_rejected(self):
+        builder = self._builder().process("b")
+        builder.channel("i", "src", "a")
+        builder.channel("o", "a", "snk")
+        builder.channel("bad", "snk", "b")
+        builder.channel("ob", "b", "snk")
+        with pytest.raises(ValidationError, match="sink"):
+            validate_system(builder._system)
+
+    def test_worker_without_inputs_rejected(self):
+        builder = self._builder()
+        builder.channel("o", "a", "snk")
+        with pytest.raises(ValidationError, match="no input"):
+            validate_system(builder._system)
+
+    def test_worker_without_outputs_rejected(self):
+        builder = self._builder()
+        builder.channel("i", "src", "a")
+        with pytest.raises(ValidationError, match="no output"):
+            validate_system(builder._system)
+
+    def test_unreachable_island_rejected(self):
+        builder = self._builder().process("b").process("c")
+        builder.channel("i", "src", "a")
+        builder.channel("o", "a", "snk")
+        # b and c feed each other but are disconnected from the testbench
+        builder.channel("x", "b", "c")
+        builder.channel("y", "c", "b")
+        with pytest.raises(ValidationError, match="not reachable"):
+            validate_system(builder._system)
+
+    def test_cannot_reach_sink_rejected(self):
+        builder = self._builder().process("b").process("c")
+        builder.channel("i", "src", "a")
+        builder.channel("o", "a", "snk")
+        builder.channel("ib", "src", "b")
+        # b -> c -> b loop never drains to the sink
+        builder.channel("x", "b", "c")
+        builder.channel("y", "c", "b")
+        with pytest.raises(ValidationError, match="cannot reach"):
+            validate_system(builder._system)

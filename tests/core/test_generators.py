@@ -1,0 +1,148 @@
+"""Tests for the system generators (motivating example, synthetic SoCs)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    fork_join,
+    motivating_example,
+    pipeline,
+    synthetic_soc,
+    validate_system,
+)
+from repro.core.generators import (
+    MOTIVATING_CHANNELS,
+    MOTIVATING_PROCESS_LATENCIES,
+)
+
+
+class TestMotivatingExample:
+    def test_paper_shape(self, motivating):
+        assert len(motivating.workers()) == 5
+        assert len(motivating.channels) == 8
+        assert len(motivating.sources()) == 1
+        assert len(motivating.sinks()) == 1
+
+    def test_reconstructed_latencies(self, motivating):
+        # Values recovered from the Section 4 labeling equations.
+        assert motivating.process("P2").latency == 5
+        assert motivating.process("P6").latency == 2
+        assert motivating.channel("d").latency == 3
+        assert motivating.channel("a").latency == 2
+
+    def test_constants_consistent(self, motivating):
+        for name, latency in MOTIVATING_PROCESS_LATENCIES.items():
+            assert motivating.process(name).latency == latency
+        for name, (producer, consumer, latency) in MOTIVATING_CHANNELS.items():
+            channel = motivating.channel(name)
+            assert (channel.producer, channel.consumer) == (producer, consumer)
+            assert channel.latency == latency
+
+    def test_sum_out_latency_p2_is_5(self, motivating):
+        # SumOutArcLatency(P2) = 5 per the paper's worked example.
+        total = sum(
+            motivating.channel(c).latency
+            for c in motivating.output_channels("P2")
+        )
+        assert total == 5
+
+    def test_sum_in_latency_p6_is_6(self, motivating):
+        total = sum(
+            motivating.channel(c).latency
+            for c in motivating.input_channels("P6")
+        )
+        assert total == 6
+
+    def test_validates(self, motivating):
+        validate_system(motivating)
+
+
+class TestPipeline:
+    def test_shape(self):
+        system = pipeline(4)
+        assert len(system.workers()) == 4
+        assert len(system.channels) == 5
+        validate_system(system)
+
+    def test_single_stage(self):
+        system = pipeline(1)
+        assert len(system.workers()) == 1
+
+    def test_zero_stages_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline(0)
+
+
+class TestForkJoin:
+    def test_shape(self):
+        system = fork_join(3)
+        assert len(system.workers()) == 5  # fork + 3 branches + join
+        assert len(system.channels) == 2 + 2 * 3
+        validate_system(system)
+
+    def test_branch_latencies(self):
+        system = fork_join(2, branch_latencies=(7, 9))
+        assert system.process("branch0").latency == 7
+        assert system.process("branch1").latency == 9
+
+    def test_mismatched_latencies_rejected(self):
+        with pytest.raises(ValueError):
+            fork_join(3, branch_latencies=(1, 2))
+
+    def test_too_few_branches_rejected(self):
+        with pytest.raises(ValueError):
+            fork_join(1)
+
+
+class TestSyntheticSoc:
+    def test_requested_worker_count(self):
+        system = synthetic_soc(50, seed=1)
+        assert len(system.workers()) == 50
+        validate_system(system)
+
+    def test_deterministic(self):
+        a = synthetic_soc(40, seed=7)
+        b = synthetic_soc(40, seed=7)
+        assert a.channel_names == b.channel_names
+        assert a.process_latencies() == b.process_latencies()
+        assert a.channel_latencies() == b.channel_latencies()
+
+    def test_seed_changes_topology(self):
+        a = synthetic_soc(40, seed=1)
+        b = synthetic_soc(40, seed=2)
+        assert a.channel_latencies() != b.channel_latencies()
+
+    def test_feedback_channels_carry_tokens(self):
+        system = synthetic_soc(200, seed=3, feedback_fraction=0.05)
+        feedback = [c for c in system.channels if c.initial_tokens > 0]
+        assert feedback, "expected some feedback channels"
+
+    def test_latency_bounds_respected(self):
+        system = synthetic_soc(
+            60, seed=2, min_process_latency=5, max_process_latency=9,
+            min_channel_latency=2, max_channel_latency=3,
+        )
+        for p in system.workers():
+            assert 5 <= p.latency <= 9
+        for c in system.channels:
+            assert 2 <= c.latency <= 3
+
+    def test_channel_budget_close_to_requested(self):
+        system = synthetic_soc(100, n_channels=150, seed=0)
+        worker_names = {p.name for p in system.workers()}
+        worker_channels = [
+            c
+            for c in system.channels
+            if c.producer in worker_names and c.consumer in worker_names
+        ]
+        assert len(worker_channels) <= 150
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_soc(1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(2, 60), seed=st.integers(0, 10))
+    def test_always_valid(self, n, seed):
+        validate_system(synthetic_soc(n, seed=seed))

@@ -1,0 +1,110 @@
+"""Serialization round-trips and DOT export."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    ChannelOrdering,
+    load_ordering,
+    load_system,
+    motivating_optimal_ordering,
+    save_ordering,
+    save_system,
+    system_to_dot,
+)
+from repro.core.serialization import (
+    ordering_from_dict,
+    ordering_to_dict,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.errors import ValidationError
+from tests.strategies import layered_systems
+
+
+class TestSystemRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, motivating):
+        clone = system_from_dict(system_to_dict(motivating))
+        assert clone.process_names == motivating.process_names
+        assert clone.channel_names == motivating.channel_names
+        assert clone.process_latencies() == motivating.process_latencies()
+        assert clone.channel_latencies() == motivating.channel_latencies()
+        for name in motivating.process_names:
+            assert clone.input_channels(name) == motivating.input_channels(name)
+            assert clone.output_channels(name) == motivating.output_channels(name)
+            assert clone.process(name).kind == motivating.process(name).kind
+
+    def test_dict_is_json_compatible(self, motivating):
+        json.dumps(system_to_dict(motivating))
+
+    def test_file_round_trip(self, motivating, tmp_path):
+        path = tmp_path / "sys.json"
+        save_system(motivating, path)
+        clone = load_system(path)
+        assert clone.name == motivating.name
+        assert clone.channel_names == motivating.channel_names
+
+    def test_initial_tokens_survive(self, feedback_system, tmp_path):
+        path = tmp_path / "fb.json"
+        save_system(feedback_system, path)
+        clone = load_system(path)
+        assert clone.channel("y").initial_tokens == 1
+
+    def test_unknown_version_rejected(self, motivating):
+        data = system_to_dict(motivating)
+        data["format_version"] = 99
+        with pytest.raises(ValidationError):
+            system_from_dict(data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(system=layered_systems())
+    def test_round_trip_random_systems(self, system):
+        clone = system_from_dict(system_to_dict(system))
+        assert clone.channel_names == system.channel_names
+        assert clone.process_latencies() == system.process_latencies()
+
+
+class TestOrderingRoundTrip:
+    def test_round_trip(self, motivating, tmp_path):
+        ordering = motivating_optimal_ordering(motivating)
+        path = tmp_path / "ord.json"
+        save_ordering(ordering, path)
+        clone = load_ordering(path)
+        assert clone.puts_of("P2") == ordering.puts_of("P2")
+        assert clone.gets_of("P6") == ordering.gets_of("P6")
+        clone.validate(motivating)
+
+    def test_unknown_version_rejected(self, motivating):
+        data = ordering_to_dict(ChannelOrdering.declaration_order(motivating))
+        data["format_version"] = 0
+        with pytest.raises(ValidationError):
+            ordering_from_dict(data)
+
+
+class TestDot:
+    def test_contains_all_elements(self, motivating):
+        dot = system_to_dot(motivating)
+        for process in motivating.process_names:
+            assert f'"{process}"' in dot
+        for channel in motivating.channel_names:
+            assert channel in dot
+        assert dot.startswith("digraph")
+
+    def test_ordering_annotations(self, motivating):
+        ordering = motivating_optimal_ordering(motivating)
+        dot = system_to_dot(motivating, ordering=ordering)
+        # channel b is P2's first put and P3's first (only) get
+        assert "put#1 / get#1" in dot
+
+    def test_highlighting(self, motivating):
+        dot = system_to_dot(
+            motivating, highlight_channels=["d"], highlight_processes=["P6"]
+        )
+        assert "color=red" in dot
+
+    def test_quotes_escaped(self):
+        from repro.core.dot import _quote
+
+        assert _quote('we"ird') == '"we\\"ird"'

@@ -1,0 +1,155 @@
+"""The ERMES exploration loop (Fig. 5) on controlled systems."""
+
+import pytest
+
+from repro.core import ChannelOrdering
+from repro.dse import (
+    Explorer,
+    SystemConfiguration,
+    explore,
+    iteration_table,
+    summarize,
+)
+from repro.dse.report import series, to_csv
+from repro.hls import Implementation, ImplementationLibrary, ParetoSet
+
+
+@pytest.fixture()
+def library(motivating):
+    sets = []
+    for process in motivating.workers():
+        base = process.latency
+        sets.append(
+            ParetoSet.from_points(
+                process.name,
+                [
+                    Implementation(f"{process.name}.small", base * 4, 10.0),
+                    Implementation(f"{process.name}.mid", base * 2, 16.0),
+                    Implementation(f"{process.name}.fast", base, 26.0),
+                ],
+            )
+        )
+    return ImplementationLibrary(sets)
+
+
+@pytest.fixture()
+def slow_config(motivating, library):
+    return SystemConfiguration.initial(
+        motivating,
+        library,
+        ordering=ChannelOrdering.declaration_order(motivating),
+        pick="smallest",
+    )
+
+
+class TestTimingRun:
+    def test_reaches_target(self, slow_config):
+        result = explore(slow_config, target_cycle_time=20)
+        assert result.final_record.meets_target
+        assert result.final_record.cycle_time <= 30
+
+    def test_history_starts_with_start(self, slow_config):
+        result = explore(slow_config, target_cycle_time=20)
+        assert result.history[0].action == "start"
+        assert result.history[0].iteration == 0
+
+    def test_first_action_is_timing(self, slow_config):
+        result = explore(slow_config, target_cycle_time=20)
+        assert result.history[1].action == "timing_optimization"
+
+    def test_speedup_property(self, slow_config):
+        result = explore(slow_config, target_cycle_time=20)
+        assert result.speedup > 1.0
+
+    def test_final_config_consistent_with_record(self, slow_config):
+        from repro.model import analyze_system
+
+        result = explore(slow_config, target_cycle_time=20)
+        config = result.final
+        perf = analyze_system(
+            config.system, config.ordering,
+            process_latencies=config.process_latencies(),
+        )
+        assert perf.cycle_time == result.final_record.cycle_time
+        assert config.total_area() == result.final_record.area
+
+    def test_unreachable_target_still_terminates(self, slow_config):
+        result = explore(slow_config, target_cycle_time=1)
+        assert result.stop_reason
+        assert not result.final_record.meets_target
+
+
+class TestAreaRun:
+    def test_area_recovery_from_fast_start(self, motivating, library):
+        config = SystemConfiguration.initial(
+            motivating,
+            library,
+            ordering=ChannelOrdering.declaration_order(motivating),
+            pick="fastest",
+        )
+        result = explore(config, target_cycle_time=200)
+        assert result.history[1].action == "area_recovery"
+        assert result.final_record.area < result.initial_record.area
+        assert result.final_record.meets_target
+
+    def test_area_change_negative(self, motivating, library):
+        config = SystemConfiguration.initial(motivating, library,
+                                             pick="fastest")
+        result = explore(config, target_cycle_time=500)
+        assert result.area_change < 0
+
+
+class TestLoopMechanics:
+    def test_iteration_limit_respected(self, slow_config):
+        result = Explorer(target_cycle_time=20, max_iterations=1).run(
+            slow_config
+        )
+        assert len(result.history) <= 2
+
+    def test_reorder_disabled(self, slow_config):
+        result = Explorer(target_cycle_time=20, reorder=False).run(slow_config)
+        for record in result.history:
+            assert record.reordered_processes == ()
+
+    def test_visited_configurations_not_cycled(self, slow_config):
+        result = explore(slow_config, target_cycle_time=20)
+        keys = [
+            tuple(sorted(record.selection_changes))
+            for record in result.history[1:]
+            if record.selection_changes
+        ]
+        # the explorer never replays the exact same change set twice in a
+        # row (would indicate an undetected cycle)
+        for first, second in zip(keys, keys[1:]):
+            assert first != second or first == ()
+
+    def test_incumbent_is_best_feasible(self, slow_config):
+        result = explore(slow_config, target_cycle_time=20)
+        feasible = [r for r in result.history if r.meets_target]
+        assert feasible
+        best_area = min(r.area for r in feasible)
+        assert result.final_record.area == best_area
+
+
+class TestReporting:
+    def test_iteration_table_renders(self, slow_config):
+        result = explore(slow_config, target_cycle_time=20)
+        table = iteration_table(result)
+        assert "timing_optimization" in table
+        assert "stop:" in table
+
+    def test_series_shape(self, slow_config):
+        result = explore(slow_config, target_cycle_time=20)
+        data = series(result, cycle_time_unit=1.0)
+        assert data[0]["iteration"] == 0
+        assert {"cycle_time", "area", "action", "meets_target"} <= set(data[0])
+
+    def test_csv_export(self, slow_config):
+        result = explore(slow_config, target_cycle_time=20)
+        csv = to_csv(result.history)
+        assert csv.splitlines()[0].startswith("iteration,action")
+        assert len(csv.splitlines()) == len(result.history) + 1
+
+    def test_summarize_mentions_speedup(self, slow_config):
+        result = explore(slow_config, target_cycle_time=20)
+        assert "speed-up" in summarize(result)

@@ -1,0 +1,99 @@
+"""Memory co-optimization (the paper's future work, implemented)."""
+
+import pytest
+
+from repro.core import Channel, ChannelOrdering
+from repro.dse import (
+    SystemConfiguration,
+    co_optimize,
+    memory_area,
+    volume_proportional_slot_area,
+)
+from repro.hls import Implementation, ImplementationLibrary, ParetoSet
+
+
+@pytest.fixture()
+def setup(motivating):
+    sets = []
+    for process in motivating.workers():
+        base = process.latency
+        sets.append(
+            ParetoSet.from_points(
+                process.name,
+                [
+                    Implementation(f"{process.name}.small", base * 4, 10.0),
+                    Implementation(f"{process.name}.fast", base, 26.0),
+                ],
+            )
+        )
+    library = ImplementationLibrary(sets)
+    return SystemConfiguration.initial(
+        motivating, library,
+        ordering=ChannelOrdering.declaration_order(motivating),
+        pick="smallest",
+    )
+
+
+class TestMemoryModel:
+    def test_slot_area_proportional_to_latency(self, motivating):
+        model = volume_proportional_slot_area(area_per_latency_cycle=10.0)
+        assert model(motivating.channel("d")) == 30.0  # latency 3
+        assert model(motivating.channel("b")) == 10.0
+
+    def test_memory_area_sums_slots(self, motivating):
+        model = volume_proportional_slot_area(10.0)
+        total = memory_area(
+            motivating, {"d": 2, "b": 1, "a": 0}, model
+        )
+        assert total == 2 * 30.0 + 10.0
+
+    def test_rendezvous_costs_nothing(self, motivating):
+        model = volume_proportional_slot_area(10.0)
+        assert memory_area(
+            motivating, {c.name: 0 for c in motivating.channels}, model
+        ) == 0.0
+
+
+class TestCoOptimize:
+    def test_logic_only_when_target_easy(self, setup):
+        # Target reachable by implementations alone: no buffers bought.
+        result = co_optimize(setup, target_cycle_time=20)
+        assert result.feasible
+        assert result.cycle_time <= 20
+        assert result.memory_area == 0.0
+        assert result.sized_channels == ()
+
+    def test_buffers_bought_below_logic_floor(self, setup):
+        # The fastest-logic floor of the motivating example is 12 (P2's
+        # serial cycle); going below needs FIFO slots.
+        result = co_optimize(setup, target_cycle_time=10)
+        assert result.feasible
+        assert result.cycle_time <= 10
+        assert result.memory_area > 0.0
+        assert result.sized_channels
+
+    def test_memory_charged_by_model(self, setup, motivating):
+        expensive = volume_proportional_slot_area(1000.0)
+        cheap = volume_proportional_slot_area(1.0)
+        costly = co_optimize(setup, target_cycle_time=10,
+                             slot_area=expensive)
+        frugal = co_optimize(setup, target_cycle_time=10, slot_area=cheap)
+        assert costly.capacities == frugal.capacities
+        assert costly.memory_area == 1000.0 * frugal.memory_area
+
+    def test_total_area_is_sum(self, setup):
+        result = co_optimize(setup, target_cycle_time=10)
+        assert result.total_area == result.logic_area + result.memory_area
+
+    def test_infeasible_even_with_buffers(self, setup):
+        result = co_optimize(setup, target_cycle_time=1, max_capacity=4)
+        assert not result.feasible
+        assert result.cycle_time > 1
+
+    def test_expensive_slots_trimmed_to_rendezvous(self, setup):
+        """Channels whose slot the target does not need fall back to the
+        free rendezvous protocol."""
+        result = co_optimize(setup, target_cycle_time=11)
+        rendezvous = [n for n, c in result.capacities.items() if c == 0]
+        assert rendezvous  # not every channel needs a buffer for CT 11
+        assert result.feasible

@@ -1,0 +1,59 @@
+"""The markdown design report."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import save_system
+from repro.report import design_report
+
+
+class TestDesignReport:
+    def test_sections_present(self, motivating):
+        text = design_report(motivating)
+        for heading in ("# Design report", "## Topology",
+                        "## Performance", "## Algorithm 1 ordering",
+                        "## Bottlenecks"):
+            assert heading in text
+
+    def test_numbers_in_report(self, motivating):
+        text = design_report(motivating)
+        assert "| processes | 5 |" in text
+        assert "| statement orderings | 36 |" in text
+        assert "| cycle time | 12 |" in text
+
+    def test_deadlock_reported(self, motivating, deadlock_ordering):
+        text = design_report(motivating, deadlock_ordering)
+        assert "DEADLOCK" in text
+        # the report still proposes the fixed ordering afterwards
+        assert "## Algorithm 1 ordering" in text
+
+    def test_sensitivity_optional(self, motivating):
+        text = design_report(motivating, include_sensitivity=False)
+        assert "## Bottlenecks" not in text
+
+    def test_sensitivity_limit(self, motivating):
+        text = design_report(motivating, sensitivity_limit=2)
+        bottleneck_rows = [
+            line for line in text.splitlines()
+            if line.startswith("|") and ("yes" in line or "no |" in line)
+        ]
+        assert len(bottleneck_rows) <= 3
+
+    def test_latency_overrides(self, motivating, optimal_ordering):
+        text = design_report(
+            motivating, optimal_ordering, process_latencies={"P2": 50}
+        )
+        assert "| cycle time | 57 |" in text  # 2+50+1+1+3
+
+    def test_cli_report(self, motivating, tmp_path, capsys):
+        path = tmp_path / "sys.json"
+        save_system(motivating, path)
+        out_file = tmp_path / "report.md"
+        assert main(["report", str(path), "-o", str(out_file)]) == 0
+        assert "# Design report" in out_file.read_text()
+
+    def test_cli_report_stdout(self, motivating, tmp_path, capsys):
+        path = tmp_path / "sys.json"
+        save_system(motivating, path)
+        assert main(["report", str(path), "--no-sensitivity"]) == 0
+        assert "## Topology" in capsys.readouterr().out

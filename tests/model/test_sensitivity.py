@@ -1,0 +1,103 @@
+"""Sensitivity/bottleneck analysis tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.model import (
+    analyze_system,
+    format_sensitivity,
+    sensitivity_report,
+)
+from tests.strategies import layered_systems
+
+
+class TestMotivatingSensitivity:
+    def test_critical_process_has_zero_slack(self, motivating,
+                                             optimal_ordering):
+        report = sensitivity_report(motivating, optimal_ordering)
+        assert report.cycle_time == 12
+        p2 = report.of("P2")
+        assert p2.on_critical_cycle
+        assert p2.slack == 0
+        assert p2.potential > 0
+
+    def test_noncritical_has_positive_slack(self, motivating,
+                                            optimal_ordering):
+        report = sensitivity_report(motivating, optimal_ordering)
+        p4 = report.of("P4")
+        assert not p4.on_critical_cycle
+        assert p4.slack > 0
+        assert p4.potential == 0
+
+    def test_slack_is_tight(self, motivating, optimal_ordering):
+        """Increasing a process latency by slack keeps the cycle time;
+        slack+1 increases it."""
+        report = sensitivity_report(motivating, optimal_ordering)
+        for entry in report.entries:
+            if entry.slack == 0 or entry.slack > 10_000:
+                continue
+            at_slack = analyze_system(
+                motivating, optimal_ordering,
+                process_latencies={entry.process: entry.latency + entry.slack},
+            ).cycle_time
+            past_slack = analyze_system(
+                motivating, optimal_ordering,
+                process_latencies={
+                    entry.process: entry.latency + entry.slack + 1
+                },
+            ).cycle_time
+            assert at_slack == report.cycle_time
+            assert past_slack > report.cycle_time
+
+    def test_potential_matches_direct_analysis(self, motivating,
+                                               optimal_ordering):
+        report = sensitivity_report(motivating, optimal_ordering)
+        p2 = report.of("P2")
+        at_zero = analyze_system(
+            motivating, optimal_ordering, process_latencies={"P2": 0}
+        ).cycle_time
+        assert report.cycle_time - at_zero == p2.potential
+
+    def test_bottlenecks_sorted(self, motivating, suboptimal_ordering):
+        report = sensitivity_report(motivating, suboptimal_ordering)
+        potentials = [float(e.potential) for e in report.bottlenecks()]
+        assert potentials == sorted(potentials, reverse=True)
+        assert all(p > 0 for p in potentials)
+
+    def test_of_unknown_raises(self, motivating, optimal_ordering):
+        report = sensitivity_report(motivating, optimal_ordering)
+        with pytest.raises(KeyError):
+            report.of("ghost")
+
+    def test_format(self, motivating, optimal_ordering):
+        report = sensitivity_report(motivating, optimal_ordering)
+        text = format_sensitivity(report)
+        assert "cycle time: 12" in text
+        assert "P2" in text
+        limited = format_sensitivity(report, limit=2)
+        assert len(limited.splitlines()) == 4
+
+    def test_latency_overrides_respected(self, motivating, optimal_ordering):
+        report = sensitivity_report(
+            motivating, optimal_ordering, process_latencies={"P2": 1}
+        )
+        expected = analyze_system(
+            motivating, optimal_ordering, process_latencies={"P2": 1}
+        ).cycle_time
+        assert report.cycle_time == expected
+        assert report.cycle_time < 12  # faster P2 helps
+
+
+@settings(max_examples=15, deadline=None)
+@given(system=layered_systems(max_layers=3, max_width=2))
+def test_slack_and_potential_consistency(system):
+    from repro.ordering import channel_ordering
+
+    report = sensitivity_report(system, channel_ordering(system))
+    for entry in report.entries:
+        # critical processes never have slack; processes with potential
+        # must be critical (speeding a non-critical process cannot help).
+        if entry.on_critical_cycle:
+            assert entry.slack == 0
+        if entry.potential > 0:
+            assert entry.on_critical_cycle

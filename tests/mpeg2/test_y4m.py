@@ -1,0 +1,84 @@
+"""YUV4MPEG2 file round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mpeg2.codec import (
+    VideoFormat,
+    read_y4m,
+    synthetic_sequence,
+    write_y4m,
+)
+
+FMT = VideoFormat(width=64, height=48)
+
+
+class TestY4m:
+    def test_round_trip(self, tmp_path):
+        frames = synthetic_sequence(4, FMT, seed=1)
+        path = tmp_path / "clip.y4m"
+        write_y4m(path, frames, fps=(25, 1))
+        loaded, fps = read_y4m(path)
+        assert fps == (25, 1)
+        assert len(loaded) == 4
+        for a, b in zip(frames, loaded):
+            assert np.array_equal(a.y, b.y)
+            assert np.array_equal(a.cb, b.cb)
+            assert np.array_equal(a.cr, b.cr)
+
+    def test_header_format(self, tmp_path):
+        frames = synthetic_sequence(1, FMT)
+        path = tmp_path / "clip.y4m"
+        write_y4m(path, frames)
+        head = path.read_bytes().split(b"\n", 1)[0]
+        assert head.startswith(b"YUV4MPEG2 W64 H48 F30:1")
+        assert b"C420" in head
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_y4m(tmp_path / "x.y4m", [])
+
+    def test_bad_fps_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            write_y4m(tmp_path / "x.y4m", synthetic_sequence(1, FMT),
+                      fps=(0, 1))
+
+    def test_mixed_sizes_rejected(self, tmp_path):
+        frames = synthetic_sequence(1, FMT) + synthetic_sequence(
+            1, VideoFormat(32, 32)
+        )
+        with pytest.raises(ValidationError):
+            write_y4m(tmp_path / "x.y4m", frames)
+
+    def test_not_y4m_rejected(self, tmp_path):
+        path = tmp_path / "junk.y4m"
+        path.write_bytes(b"RIFFjunk")
+        with pytest.raises(ValidationError):
+            read_y4m(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        frames = synthetic_sequence(2, FMT)
+        path = tmp_path / "clip.y4m"
+        write_y4m(path, frames)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 100])
+        with pytest.raises(ValidationError):
+            read_y4m(path)
+
+    def test_unsupported_chroma_rejected(self, tmp_path):
+        path = tmp_path / "c444.y4m"
+        path.write_bytes(b"YUV4MPEG2 W16 H16 F30:1 C444\nFRAME\n" + b"\0" * 768)
+        with pytest.raises(ValidationError):
+            read_y4m(path)
+
+    def test_reconstruction_export(self, tmp_path):
+        """Encode, then dump the reconstruction as a playable file."""
+        from repro.mpeg2.codec import Encoder, EncoderConfig
+
+        frames = synthetic_sequence(3, FMT, seed=2)
+        video = Encoder(EncoderConfig(qscale=8)).encode_sequence(frames)
+        path = tmp_path / "recon.y4m"
+        write_y4m(path, video.reconstructed)
+        loaded, __ = read_y4m(path)
+        assert np.array_equal(loaded[-1].y, video.reconstructed[-1].y)

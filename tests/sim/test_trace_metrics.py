@@ -1,0 +1,84 @@
+"""Trace formatting and metrics helpers."""
+
+from fractions import Fraction
+
+from repro.core import pipeline
+from repro.sim import (
+    SimulationResult,
+    Simulator,
+    agreement_error,
+    format_trace,
+    throughput,
+    utilizations,
+)
+
+
+def _traced_run(iterations=3):
+    return Simulator(pipeline(2), record_trace=True).run(iterations=iterations)
+
+
+class TestTraceFormatting:
+    def test_format_contains_events(self):
+        result = _traced_run()
+        text = format_trace(result.trace)
+        assert "compute" in text
+        assert "iter" in text
+
+    def test_format_limit(self):
+        result = _traced_run()
+        text = format_trace(result.trace, limit=3)
+        lines = text.splitlines()
+        assert len(lines) == 4  # 3 events + truncation marker
+        assert lines[-1].startswith("...")
+
+    def test_trace_sorted_by_time(self):
+        result = _traced_run()
+        times = [event.time for event in result.trace]
+        assert times == sorted(times)
+
+    def test_block_events_recorded(self):
+        result = _traced_run()
+        kinds = {event.kind for event in result.trace}
+        assert kinds & {"block-put", "block-get"}
+
+
+class TestMetrics:
+    def test_throughput_reciprocal(self):
+        result = Simulator(pipeline(2)).run(iterations=40)
+        period = result.measured_cycle_time("snk")
+        assert throughput(result, "snk") == 1 / Fraction(period)
+
+    def test_throughput_none_for_short_run(self):
+        result = Simulator(pipeline(2)).run(iterations=2)
+        assert throughput(result, "snk") is None
+
+    def test_agreement_error_none_cases(self):
+        result = Simulator(pipeline(2)).run(iterations=2)
+        assert agreement_error(result, "snk", 10) is None
+        full = Simulator(pipeline(2)).run(iterations=40)
+        assert agreement_error(full, "snk", 0) is None
+
+    def test_utilization_bounds(self):
+        result = Simulator(pipeline(3)).run(iterations=30)
+        for stats in utilizations(result).values():
+            assert 0.0 <= stats.utilization <= 1.0
+            assert 0.0 <= stats.stall_fraction <= 1.0
+
+    def test_utilization_zero_time(self):
+        stats = SimulationResult(
+            iterations={"p": 0}, times={"p": 0},
+            completion_times={"p": []}, compute_cycles={"p": 0},
+            stall_cycles={"p": 0}, channel_transfers={},
+        )
+        util = utilizations(stats)["p"]
+        assert util.utilization == 0.0
+        assert util.stall_fraction == 0.0
+
+    def test_measured_cycle_time_requires_history(self):
+        stats = SimulationResult(
+            iterations={"p": 1}, times={"p": 5},
+            completion_times={"p": [5]}, compute_cycles={"p": 5},
+            stall_cycles={"p": 0}, channel_transfers={},
+        )
+        assert stats.measured_cycle_time("p") is None
+        assert stats.measured_cycle_time("ghost") is None

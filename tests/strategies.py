@@ -1,0 +1,153 @@
+"""Hypothesis strategies for property-based tests.
+
+Generates random-but-valid systems and event graphs with the structural
+guarantees the library expects (layered worker DAGs with a testbench, plus
+optional pre-loaded feedback channels), so properties quantify over a rich
+slice of real inputs instead of degenerate noise.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.builder import SystemBuilder
+from repro.core.system import SystemGraph
+from repro.tmg.graph import TimedMarkedGraph
+
+
+@st.composite
+def layered_systems(
+    draw,
+    max_layers: int = 4,
+    max_width: int = 3,
+    max_latency: int = 12,
+    feedback: bool = True,
+) -> SystemGraph:
+    """A random layered system: source → worker layers → sink.
+
+    Every worker reads from at least one earlier process and every
+    worker's outputs eventually drain to the sink, so the result always
+    passes validation.  With ``feedback=True`` up to two later→earlier
+    channels (with one initial token each) may be added.
+    """
+    n_layers = draw(st.integers(1, max_layers))
+    widths = [draw(st.integers(1, max_width)) for _ in range(n_layers)]
+    latency = lambda: draw(st.integers(1, max_latency))  # noqa: E731
+
+    builder = SystemBuilder("hyp")
+    builder.source("src", latency=latency())
+    layers: list[list[str]] = []
+    count = 0
+    for width in widths:
+        layer = []
+        for _ in range(width):
+            name = f"w{count}"
+            builder.process(name, latency=latency())
+            layer.append(name)
+            count += 1
+        layers.append(layer)
+    builder.sink("snk", latency=latency())
+
+    channel = 0
+
+    def add(producer: str, consumer: str, tokens: int = 0) -> None:
+        nonlocal channel
+        builder.channel(
+            f"c{channel}",
+            producer,
+            consumer,
+            latency=draw(st.integers(1, max_latency)),
+            initial_tokens=tokens,
+        )
+        channel += 1
+
+    # Source feeds every first-layer worker.
+    for name in layers[0]:
+        add("src", name)
+    # Every later worker reads from one random earlier worker; extra
+    # forward channels sprinkle reconvergence.
+    for depth in range(1, n_layers):
+        for name in layers[depth]:
+            earlier_layer = layers[draw(st.integers(0, depth - 1))]
+            producer = earlier_layer[draw(st.integers(0, len(earlier_layer) - 1))]
+            add(producer, name)
+    flat = [name for layer in layers for name in layer]
+    extra = draw(st.integers(0, min(4, len(flat)))) if len(flat) >= 2 else 0
+    for _ in range(extra):
+        i = draw(st.integers(0, len(flat) - 2))
+        j = draw(st.integers(i + 1, len(flat) - 1))
+        if flat[i] != flat[j]:
+            add(flat[i], flat[j])
+    # Optional feedback with a pre-loaded token.
+    if feedback and len(flat) >= 2:
+        n_feedback = draw(st.integers(0, 2))
+        for _ in range(n_feedback):
+            j = draw(st.integers(1, len(flat) - 1))
+            i = draw(st.integers(0, j - 1))
+            add(flat[j], flat[i], tokens=draw(st.integers(1, 2)))
+
+    # Drain everything that cannot reach the sink into the sink.
+    system = builder.build(validate=False)
+    for name in flat:
+        if not system.output_channels(name):
+            add(name, "snk")
+    from repro.core.generators import _not_coreachable
+
+    for name in _not_coreachable(system, "snk"):
+        add(name, "snk")
+    if not system.input_channels("snk"):
+        add(flat[-1], "snk")
+    return builder.build()
+
+
+@st.composite
+def live_tmgs(
+    draw,
+    max_chains: int = 3,
+    max_chain_length: int = 4,
+    max_delay: int = 10,
+) -> TimedMarkedGraph:
+    """A random live TMG: token-carrying transition rings plus cross places.
+
+    Construction: a few rings (each ring a cycle of transitions, with one
+    token somewhere on it) connected by extra places that always carry at
+    least one token, so no token-free cycle can arise.
+    """
+    tmg = TimedMarkedGraph("hyp")
+    n_chains = draw(st.integers(1, max_chains))
+    rings: list[list[str]] = []
+    t_index = 0
+    p_index = 0
+    for c in range(n_chains):
+        length = draw(st.integers(1, max_chain_length))
+        ring = []
+        for _ in range(length):
+            name = f"t{t_index}"
+            tmg.add_transition(name, delay=draw(st.integers(0, max_delay)))
+            ring.append(name)
+            t_index += 1
+        token_at = draw(st.integers(0, length - 1))
+        for i, producer in enumerate(ring):
+            consumer = ring[(i + 1) % length]
+            tmg.add_place(
+                f"p{p_index}",
+                producer,
+                consumer,
+                tokens=1 if i == token_at else 0,
+            )
+            p_index += 1
+        rings.append(ring)
+    # Cross links with >= 1 token each keep all mixed cycles live.
+    n_cross = draw(st.integers(0, 2 * n_chains))
+    all_transitions = [t for ring in rings for t in ring]
+    for _ in range(n_cross):
+        producer = all_transitions[draw(st.integers(0, len(all_transitions) - 1))]
+        consumer = all_transitions[draw(st.integers(0, len(all_transitions) - 1))]
+        tmg.add_place(
+            f"p{p_index}",
+            producer,
+            consumer,
+            tokens=draw(st.integers(1, 3)),
+        )
+        p_index += 1
+    return tmg

@@ -1,0 +1,169 @@
+"""Cycle-time engines: Howard, Lawler, enumeration — units and agreement."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import NotLiveError, ReproError
+from repro.tmg import (
+    Engine,
+    TimedMarkedGraph,
+    analyze,
+    build_event_graph,
+    cycle_time,
+    deadlock_witness,
+    is_deadlocked,
+    is_live,
+    maximum_cycle_ratio,
+    maximum_cycle_ratio_enumerated,
+    maximum_cycle_ratio_lawler,
+)
+
+
+def simple_ring(delays=(2, 3, 1), tokens=(1, 0, 0)) -> TimedMarkedGraph:
+    tmg = TimedMarkedGraph()
+    n = len(delays)
+    for i, d in enumerate(delays):
+        tmg.add_transition(f"t{i}", delay=d)
+    for i in range(n):
+        tmg.add_place(f"p{i}", f"t{i}", f"t{(i + 1) % n}", tokens=tokens[i])
+    return tmg
+
+
+def two_rings() -> TimedMarkedGraph:
+    """Two rings sharing one transition; ratios 6/1 and 10/2."""
+    tmg = TimedMarkedGraph()
+    for name, delay in (("a", 1), ("b", 5), ("c", 4)):
+        tmg.add_transition(name, delay=delay)
+    tmg.add_place("p0", "a", "b", tokens=1)
+    tmg.add_place("p1", "b", "a", tokens=0)  # ring a-b: delay 6, tokens 1
+    tmg.add_place("p2", "a", "c", tokens=1)
+    tmg.add_place("p3", "c", "a", tokens=1)  # ring a-c: delay 5, tokens 2
+    return tmg
+
+
+class TestHoward:
+    def test_single_ring_ratio(self):
+        result = maximum_cycle_ratio(build_event_graph(simple_ring()))
+        assert result.ratio == Fraction(6, 1)
+        assert set(result.cycle) == {"t0", "t1", "t2"}
+
+    def test_multi_token_ring(self):
+        tmg = simple_ring(tokens=(1, 1, 0))
+        result = maximum_cycle_ratio(build_event_graph(tmg))
+        assert result.ratio == Fraction(6, 2)
+
+    def test_two_rings_picks_max(self):
+        result = maximum_cycle_ratio(build_event_graph(two_rings()))
+        assert result.ratio == Fraction(6, 1)
+        assert set(result.cycle) == {"a", "b"}
+
+    def test_float_mode_close(self):
+        result = maximum_cycle_ratio(build_event_graph(two_rings()), exact=False)
+        assert result.ratio == pytest.approx(6.0)
+
+    def test_token_free_cycle_raises(self):
+        tmg = simple_ring(tokens=(0, 0, 0))
+        with pytest.raises(NotLiveError):
+            maximum_cycle_ratio(build_event_graph(tmg))
+
+    def test_acyclic_returns_none(self):
+        tmg = TimedMarkedGraph()
+        tmg.add_transition("a", delay=1)
+        tmg.add_transition("b", delay=1)
+        tmg.add_place("p", "a", "b", tokens=0)
+        assert maximum_cycle_ratio(build_event_graph(tmg)) is None
+
+    def test_critical_places_reported(self):
+        result = maximum_cycle_ratio(build_event_graph(simple_ring()))
+        assert len(result.places) == len(result.cycle)
+        assert set(result.places) <= {"p0", "p1", "p2"}
+
+    def test_zero_delay_cycle_ratio_zero(self):
+        tmg = simple_ring(delays=(0, 0, 0))
+        result = maximum_cycle_ratio(build_event_graph(tmg))
+        assert result.ratio == 0
+
+
+class TestLawler:
+    def test_matches_howard_on_rings(self):
+        graph = build_event_graph(two_rings())
+        assert maximum_cycle_ratio_lawler(graph, exact=True) == Fraction(6)
+
+    def test_token_free_cycle_raises(self):
+        graph = build_event_graph(simple_ring(tokens=(0, 0, 0)))
+        with pytest.raises(NotLiveError):
+            maximum_cycle_ratio_lawler(graph)
+
+    def test_acyclic_returns_none(self):
+        tmg = TimedMarkedGraph()
+        tmg.add_transition("a", delay=1)
+        tmg.add_transition("b", delay=1)
+        tmg.add_place("p", "a", "b", tokens=0)
+        assert maximum_cycle_ratio_lawler(build_event_graph(tmg)) is None
+
+    def test_zero_delay_cycle(self):
+        graph = build_event_graph(simple_ring(delays=(0, 0, 0)))
+        assert maximum_cycle_ratio_lawler(graph, exact=True) == 0
+
+    def test_float_tolerance(self):
+        graph = build_event_graph(simple_ring())
+        value = maximum_cycle_ratio_lawler(graph, tolerance=1e-6)
+        assert value == pytest.approx(6.0, abs=1e-5)
+
+
+class TestEnumeration:
+    def test_exact_on_two_rings(self):
+        ratio, witness = maximum_cycle_ratio_enumerated(
+            build_event_graph(two_rings())
+        )
+        assert ratio == Fraction(6)
+        assert set(witness.nodes) == {"a", "b"}
+
+    def test_counts_cycles(self):
+        from repro.tmg import enumerate_cycles
+
+        cycles = list(enumerate_cycles(build_event_graph(two_rings())))
+        assert len(cycles) == 2
+
+    def test_token_free_cycle_raises(self):
+        with pytest.raises(NotLiveError):
+            maximum_cycle_ratio_enumerated(
+                build_event_graph(simple_ring(tokens=(0, 0, 0)))
+            )
+
+
+class TestAnalyzeFacade:
+    @pytest.mark.parametrize("engine", list(Engine))
+    def test_all_engines_agree(self, engine):
+        report = analyze(two_rings(), engine=engine)
+        assert report.cycle_time == 6
+
+    def test_throughput_reciprocal(self):
+        report = analyze(simple_ring())
+        assert report.throughput == Fraction(1, 6)
+
+    def test_engine_accepts_string(self):
+        assert cycle_time(simple_ring(), engine="lawler") == 6
+
+    def test_deadlock_detected(self):
+        tmg = simple_ring(tokens=(0, 0, 0))
+        assert is_deadlocked(tmg)
+        assert not is_live(tmg)
+        witness = deadlock_witness(tmg)
+        assert witness and set(witness) <= {"t0", "t1", "t2"}
+        with pytest.raises(NotLiveError):
+            analyze(tmg)
+
+    def test_acyclic_raises(self):
+        tmg = TimedMarkedGraph()
+        tmg.add_transition("a", delay=1)
+        tmg.add_transition("b", delay=1)
+        tmg.add_place("p", "a", "b", tokens=0)
+        with pytest.raises(ReproError):
+            analyze(tmg)
+
+    def test_zero_cycle_time_throughput_raises(self):
+        report = analyze(simple_ring(delays=(0, 0, 0)))
+        with pytest.raises(ReproError):
+            report.throughput
