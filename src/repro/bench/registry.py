@@ -96,6 +96,13 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "annealing vs Algorithm 1",
         bench="test_bench_ablations.py",
     ),
+    Experiment(
+        id="CACHE",
+        artifact="extension: memoized incremental analysis",
+        claim=">=3x on replayed DSE analysis streams, results bit-identical "
+        "to the uncached path",
+        bench="test_bench_analysis_cache.py",
+    ),
 )
 
 

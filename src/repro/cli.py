@@ -160,21 +160,30 @@ def _cmd_mpeg2(args: argparse.Namespace) -> int:
         return 0
 
     if args.experiment == "m1":
+        from repro.perf import PerformanceEngine
+
+        perf_engine = PerformanceEngine()
         config = SystemConfiguration(
             system, library, m1_selection(library), declaration_ordering(system)
         )
         latencies = config.process_latencies()
-        before = analyze_system(system, config.ordering, process_latencies=latencies)
+        before = analyze_system(system, config.ordering,
+                                process_latencies=latencies,
+                                perf_engine=perf_engine)
         ordering = channel_ordering(
             system.with_process_latencies(latencies),
             initial_ordering=config.ordering,
         )
-        after = analyze_system(system, ordering, process_latencies=latencies)
+        after = analyze_system(system, ordering, process_latencies=latencies,
+                               perf_engine=perf_engine)
         gain = 1 - float(after.cycle_time) / float(before.cycle_time)
         print(f"M1 cycle time: {float(before.cycle_time)/1000:.0f} KCycles, "
               f"area {config.total_area()/1e6:.3f} mm2")
         print(f"after ERMES reordering: {float(after.cycle_time)/1000:.0f} KCycles "
               f"({gain:.1%} improvement, no area change)")
+        if args.cache_stats:
+            print("\nanalysis cache:")
+            print(perf_engine.format_stats())
         return 0
 
     target = 2_000_000 if args.experiment == "fig6-left" else 4_000_000
@@ -184,6 +193,12 @@ def _cmd_mpeg2(args: argparse.Namespace) -> int:
     result = explore(config, target_cycle_time=target)
     print(iteration_table(result, cycle_time_unit=1000, area_unit=1e6))
     print(summarize(result))
+    if args.cache_stats and result.cache_stats:
+        print("\nanalysis cache:")
+        for name, stats in result.cache_stats.items():
+            print(f"{name:>10}: hits={stats['hits']} misses={stats['misses']} "
+                  f"evictions={stats['evictions']} "
+                  f"hit_rate={stats['hit_rate']:.1%}")
     return 0
 
 
@@ -289,18 +304,35 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 def _cmd_scalability(args: argparse.Namespace) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
-    print(f"{'processes':>10} {'channels':>10} {'order (s)':>10} "
-          f"{'analyze (s)':>12}")
+    perf_engine = None
+    if args.cache_stats:
+        from repro.perf import PerformanceEngine
+
+        perf_engine = PerformanceEngine()
+    header = (f"{'processes':>10} {'channels':>10} {'order (s)':>10} "
+              f"{'analyze (s)':>12}")
+    if perf_engine is not None:
+        header += f" {'cached (s)':>12}"
+    print(header)
     for size in sizes:
         system = synthetic_soc(size, seed=args.seed)
         start = time.perf_counter()
         ordering = channel_ordering(system)
         t_order = time.perf_counter() - start
         start = time.perf_counter()
-        analyze_system(system, ordering, exact=False)
+        analyze_system(system, ordering, exact=False, perf_engine=perf_engine)
         t_analyze = time.perf_counter() - start
-        print(f"{len(system.workers()):>10} {len(system.channels):>10} "
-              f"{t_order:>10.3f} {t_analyze:>12.3f}")
+        row = (f"{len(system.workers()):>10} {len(system.channels):>10} "
+               f"{t_order:>10.3f} {t_analyze:>12.3f}")
+        if perf_engine is not None:
+            start = time.perf_counter()
+            analyze_system(system, ordering, exact=False,
+                           perf_engine=perf_engine)
+            row += f" {time.perf_counter() - start:>12.3f}"
+        print(row)
+    if perf_engine is not None:
+        print("\nanalysis cache:")
+        print(perf_engine.format_stats())
     return 0
 
 
@@ -348,6 +380,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="m1",
         choices=["table1", "m1", "fig6-left", "fig6-right"],
     )
+    p.add_argument("--cache-stats", action="store_true",
+                   help="print analysis-cache hit/miss counters")
     p.set_defaults(func=_cmd_mpeg2)
 
     p = sub.add_parser("report", help="full markdown design report")
@@ -391,6 +425,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scalability", help="synthetic SoC scalability sweep")
     p.add_argument("--sizes", default="100,1000,10000")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-stats", action="store_true",
+                   help="serve analyses through the cache, time a repeat, "
+                        "and print hit/miss counters")
     p.set_defaults(func=_cmd_scalability)
 
     return parser

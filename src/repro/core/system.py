@@ -129,6 +129,28 @@ class Channel:
                 "is not a point-to-point inter-process channel"
             )
 
+    @property
+    def is_buffered(self) -> bool:
+        """True when the channel behaves as a FIFO rather than a rendezvous.
+
+        ``capacity >= 1`` is an explicit FIFO.  ``initial_tokens > 0`` with
+        ``capacity == 0`` *also* buffers: a pure rendezvous cannot hold
+        pre-loaded data, so the channel is promoted to a FIFO of
+        :attr:`effective_capacity` slots.  This property makes that
+        promotion explicit — the TMG builder and the simulator both key off
+        it instead of re-deriving the rule locally.
+        """
+        return self.capacity > 0 or self.initial_tokens > 0
+
+    @property
+    def effective_capacity(self) -> int:
+        """FIFO depth actually realized: ``max(capacity, initial_tokens)``.
+
+        Zero for a pure rendezvous; for a pre-loaded channel the depth must
+        at least hold the initial tokens.
+        """
+        return max(self.capacity, self.initial_tokens)
+
 
 class SystemGraph:
     """A system of processes and channels (the graph of Fig. 2(a)).

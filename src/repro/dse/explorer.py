@@ -34,6 +34,8 @@ from repro.errors import DeadlockError, InfeasibleError
 from repro.ilp import branch_bound
 from repro.model.performance import SystemPerformance, analyze_system
 from repro.ordering.algorithm import channel_ordering
+from repro.perf.cache import LruCache
+from repro.perf.engine import PerformanceEngine
 
 Number = Union[Fraction, float]
 
@@ -69,6 +71,7 @@ class ExplorationResult:
     final: SystemConfiguration | None = None
     final_index: int = -1
     stop_reason: str = ""
+    cache_stats: dict[str, dict[str, int | float]] | None = None
 
     @property
     def initial_record(self) -> IterationRecord:
@@ -80,10 +83,18 @@ class ExplorationResult:
 
     @property
     def speedup(self) -> float:
-        """Initial CT over final CT."""
-        return float(self.initial_record.cycle_time) / float(
-            self.final_record.cycle_time
-        )
+        """Initial CT over final CT.
+
+        Degenerate zero-latency systems can reach a cycle time of 0 (e.g.
+        a zero-latency sink behind a buffered channel dominates every
+        cycle); a zero *final* CT means the run is infinitely faster —
+        unless the initial CT was already 0, in which case nothing changed.
+        """
+        initial = float(self.initial_record.cycle_time)
+        final = float(self.final_record.cycle_time)
+        if final == 0:
+            return 1.0 if initial == 0 else float("inf")
+        return initial / final
 
     @property
     def area_change(self) -> float:
@@ -106,6 +117,10 @@ class Explorer:
             (activates the dual formulation with area recovered from
             off-cycle processes).
         engine_exact: Exact rational arithmetic in the analysis engine.
+        perf_engine: The :class:`~repro.perf.PerformanceEngine` serving
+            the per-iteration analyses.  Defaults to a fresh engine per
+            Explorer; pass a shared one to keep its caches warm across
+            runs (see :func:`repro.dse.sweep.sweep_targets`).
     """
 
     def __init__(
@@ -115,12 +130,17 @@ class Explorer:
         reorder: bool = True,
         timing_area_budget: float | None = None,
         engine_exact: bool = True,
+        perf_engine: PerformanceEngine | None = None,
     ):
         self.target_cycle_time = target_cycle_time
         self.max_iterations = max_iterations
         self.reorder = reorder
         self.timing_area_budget = timing_area_budget
         self.engine_exact = engine_exact
+        self.perf_engine = perf_engine or PerformanceEngine()
+        # Memoized Algorithm 1 results: sweeps revisit configurations, and
+        # orderings are immutable values safe to share.
+        self._ordering_cache = LruCache(maxsize=256)
 
     # ------------------------------------------------------------------
 
@@ -128,6 +148,11 @@ class Explorer:
         """Explore from ``config`` until convergence."""
         result = ExplorationResult(target_cycle_time=self.target_cycle_time)
         visited: set[tuple[tuple[str, str], ...]] = {config.selection_key()}
+        # Computed once, deliberately: the caps depend only on the target
+        # and on each process's channel latencies/bufferings — structural
+        # quantities that no exploration step (selection or reordering)
+        # ever changes — so the initial caps remain valid for the whole
+        # run.  See process_latency_caps for the serial-cycle bound.
         caps = process_latency_caps(config, float(self.target_cycle_time))
         incumbent: tuple[float, float, int, SystemConfiguration] | None = None
         fastest: tuple[float, float, int, SystemConfiguration] | None = None
@@ -236,6 +261,7 @@ class Explorer:
         else:
             result.final = config
             result.final_index = len(result.history) - 1
+        result.cache_stats = self.perf_engine.stats_dict()
         return result
 
     # ------------------------------------------------------------------
@@ -254,12 +280,17 @@ class Explorer:
             config.ordering,
             process_latencies=config.process_latencies(),
             exact=self.engine_exact,
+            perf_engine=self.perf_engine,
         )
 
     def _reorder(self, config: SystemConfiguration) -> ChannelOrdering:
         system = config.system.with_process_latencies(config.process_latencies())
         try:
-            return channel_ordering(system, initial_ordering=config.ordering)
+            return channel_ordering(
+                system,
+                initial_ordering=config.ordering,
+                cache=self._ordering_cache,
+            )
         except DeadlockError:
             # Structurally dead systems were rejected earlier; a failure
             # here means the topology lacks sources/sinks for the

@@ -111,21 +111,34 @@ def process_latency_caps(
     """Largest admissible latency per process under the target cycle time.
 
     Every process ``p`` induces the serial cycle *gets → compute → puts* in
-    the TMG, carrying one token, so the system cycle time is at least
-    ``latency(p) + Σ latencies of p's channels``.  Any implementation
-    pushing that bound past the target can never appear in a configuration
-    meeting it — dropping such choices up front keeps area recovery from
-    wandering into hopeless regions (inter-process cycles can still cause
-    the occasional, small violation the Fig. 6 narrative shows).
+    the TMG, carrying one token, so the system cycle time is at least the
+    sum of the delays on that chain: ``latency(p)`` plus the transition
+    delay of each statement.  A rendezvous channel contributes its transfer
+    latency on both sides; a *buffered* channel splits into a put
+    transition carrying the latency and a zero-delay get transition
+    (see :mod:`repro.model.build`), so it contributes its latency to the
+    **producer's** chain only — the consumer dequeues instantly.  Summing
+    the raw latency of every adjacent channel would overstate the bound for
+    consumers behind FIFOs and wrongly exclude feasible implementations.
+
+    Any implementation pushing the bound past the target can never appear
+    in a configuration meeting it — dropping such choices up front keeps
+    area recovery from wandering into hopeless regions (inter-process
+    cycles can still cause the occasional, small violation the Fig. 6
+    narrative shows).
+
+    The caps depend only on the target and on channel latencies/bufferings;
+    neither implementation selection nor channel reordering changes them,
+    so one computation is valid for an entire exploration run.
     """
     caps: dict[str, int] = {}
     system = config.system
     for process in config.library.processes():
         io_latency = sum(
-            system.channel(c).latency
-            for c in (
-                system.input_channels(process) + system.output_channels(process)
-            )
+            0 if system.channel(c).is_buffered else system.channel(c).latency
+            for c in system.input_channels(process)
+        ) + sum(
+            system.channel(c).latency for c in system.output_channels(process)
         )
         caps[process] = max(0, int(target_cycle_time) - io_latency)
     return caps

@@ -15,6 +15,7 @@ from typing import Iterable, Sequence, Union
 
 from repro.dse.config import SystemConfiguration
 from repro.dse.explorer import ExplorationResult, Explorer
+from repro.perf.engine import PerformanceEngine
 
 Number = Union[Fraction, float]
 
@@ -41,7 +42,12 @@ def sweep_targets(
     Each exploration starts from the *previous* target's final
     configuration, mirroring how a designer tightens constraints
     incrementally; this also warm-starts the search.
+
+    All targets share one :class:`~repro.perf.PerformanceEngine` (unless
+    ``explorer_kwargs`` provides one): neighbouring targets revisit many of
+    the same configurations, so the warm cache serves them directly.
     """
+    explorer_kwargs.setdefault("perf_engine", PerformanceEngine())
     points: list[SweepPoint] = []
     current = config
     for target in sorted(targets, reverse=True):

@@ -150,14 +150,14 @@ def build_tmg(
     tmg = TimedMarkedGraph(f"{system.name}.tmg")
 
     for channel in system.channels:
-        if channel.initial_tokens == 0 and channel.capacity == 0:
+        if not channel.is_buffered:
             tmg.add_transition(
                 channel_transition(channel.name), delay=channel.latency
             )
         else:
             # Buffered (FIFO) or pre-loaded channel: split model (see
             # module docstring).
-            capacity = max(channel.capacity, channel.initial_tokens)
+            capacity = channel.effective_capacity
             tmg.add_transition(
                 buffered_put_transition(channel.name), delay=channel.latency
             )
@@ -191,7 +191,7 @@ def build_tmg(
                 transitions.append(process_transition(process.name))
                 continue
             channel = system.channel(target)
-            if channel.initial_tokens == 0 and channel.capacity == 0:
+            if not channel.is_buffered:
                 transitions.append(channel_transition(target))
             elif kind == "put":
                 transitions.append(buffered_put_transition(target))

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Mapping, Union
+from typing import TYPE_CHECKING, Mapping, Union
 
 from repro.core.system import ChannelOrdering, SystemGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a perf<->model cycle
+    from repro.perf.engine import PerformanceEngine as PerformanceEngineLike
 from repro.errors import DeadlockError, NotLiveError
 from repro.model.build import SystemTmg, build_tmg
 from repro.tmg.analysis import Engine, PerformanceReport, analyze
@@ -49,13 +52,28 @@ def analyze_system(
     process_latencies: Mapping[str, int] | None = None,
     engine: Engine | str = Engine.HOWARD,
     exact: bool = True,
+    perf_engine: "PerformanceEngineLike | None" = None,
 ) -> SystemPerformance:
     """Cycle time and critical cycle of a system under an ordering.
+
+    Args:
+        perf_engine: Optional :class:`repro.perf.PerformanceEngine`; when
+            given, the call is served through its memoized/incremental
+            path (identical results and errors, cached).  ``None`` runs
+            the reference uncached analysis.
 
     Raises:
         DeadlockError: The configuration deadlocks; the error's ``cycle``
             lists the processes and channels in the circular wait.
     """
+    if perf_engine is not None:
+        return perf_engine.analyze(
+            system,
+            ordering,
+            process_latencies=process_latencies,
+            engine=engine,
+            exact=exact,
+        )
     model = build_tmg(system, ordering, process_latencies=process_latencies)
     try:
         report = analyze(model.tmg, engine=engine, exact=exact)

@@ -25,6 +25,8 @@ from repro.ordering.labeling import (
     backward_labeling,
     forward_labeling,
 )
+from repro.perf.cache import MISS, LruCache
+from repro.perf.fingerprint import system_fingerprint
 
 
 @dataclass(frozen=True)
@@ -38,6 +40,7 @@ class OrderingOutcome:
 def channel_ordering(
     system: SystemGraph,
     initial_ordering: ChannelOrdering | None = None,
+    cache: LruCache | None = None,
 ) -> ChannelOrdering:
     """Compute the optimized channel ordering of a system (Algorithm 1).
 
@@ -49,12 +52,26 @@ def channel_ordering(
             designer or the suboptimal of Section 2".  Defaults to the
             declaration order.  The *result* does not depend on this order
             except through timestamp tie-breaks.
+        cache: Optional :class:`~repro.perf.LruCache` memoizing the result
+            by content (latencies + channel parameters + initial order).
+            Algorithm 1 is deterministic, so a revisited configuration —
+            common in ERMES sweeps, which warm-start from earlier targets
+            — returns its (immutable) ordering without re-labeling.
 
     Raises:
         DeadlockError: The system contains a dependency cycle with no
             pre-loaded data; no ordering can make it live.
     """
-    return channel_ordering_with_labels(system, initial_ordering).ordering
+    if cache is None:
+        return channel_ordering_with_labels(system, initial_ordering).ordering
+    initial = initial_ordering or ChannelOrdering.declaration_order(system)
+    key = "order:" + system_fingerprint(system, initial)
+    cached = cache.get(key)
+    if cached is not MISS:
+        return cached
+    ordering = channel_ordering_with_labels(system, initial).ordering
+    cache.put(key, ordering)
+    return ordering
 
 
 def channel_ordering_with_labels(

@@ -24,6 +24,7 @@ from repro.core.system import ChannelOrdering, SystemGraph
 from repro.errors import DeadlockError
 from repro.model.performance import analyze_system
 from repro.ordering.algorithm import channel_ordering
+from repro.perf.engine import PerformanceEngine
 
 Number = Union[Fraction, float]
 
@@ -73,6 +74,7 @@ def anneal_ordering(
     seed: int = 0,
     initial_temperature: float | None = None,
     cooling: float = 0.985,
+    perf_engine: PerformanceEngine | None = None,
 ) -> AnnealingResult:
     """Optimize a channel ordering by simulated annealing.
 
@@ -86,18 +88,27 @@ def anneal_ordering(
         initial_temperature: Metropolis temperature; defaults to 5% of the
             starting cycle time.
         cooling: Geometric cooling factor per proposal.
+        perf_engine: The :class:`~repro.perf.PerformanceEngine` serving the
+            per-proposal analyses.  Defaults to a fresh engine per run; the
+            random walk revisits orderings often, so memoized results (and
+            float-screened Howard) cut the dominant cost directly.
     """
     rng = random.Random(seed)
+    engine = perf_engine or PerformanceEngine()
+
+    def evaluate(ordering: ChannelOrdering) -> Number:
+        return analyze_system(system, ordering, perf_engine=engine).cycle_time
+
     if initial is None:
         current = channel_ordering(system)
     else:
         try:
-            analyze_system(system, initial)
+            evaluate(initial)
             current = initial
         except DeadlockError:
             current = channel_ordering(system, initial_ordering=initial)
 
-    current_ct = analyze_system(system, current).cycle_time
+    current_ct = evaluate(current)
     initial_ct = current_ct
     best = current
     best_ct = current_ct
@@ -115,7 +126,7 @@ def anneal_ordering(
         if proposal is None:
             break
         try:
-            proposal_ct = analyze_system(system, proposal).cycle_time
+            proposal_ct = evaluate(proposal)
         except DeadlockError:
             temperature *= cooling
             continue

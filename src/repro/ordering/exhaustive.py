@@ -17,6 +17,7 @@ from typing import Callable, Union
 from repro.core.system import ChannelOrdering, SystemGraph, all_orderings
 from repro.errors import DeadlockError
 from repro.model.performance import analyze_system
+from repro.perf.engine import PerformanceEngine
 from repro.tmg.analysis import Engine
 
 Number = Union[Fraction, float]
@@ -43,6 +44,7 @@ def exhaustive_search(
     limit: int = 100_000,
     engine: Engine | str = Engine.HOWARD,
     on_ordering: Callable[[ChannelOrdering, Number | None], None] | None = None,
+    perf_engine: PerformanceEngine | None = None,
 ) -> SearchResult:
     """Analyze every channel ordering of ``system``.
 
@@ -53,6 +55,10 @@ def exhaustive_search(
         engine: Cycle-time engine for live orderings.
         on_ordering: Optional callback invoked per ordering with its cycle
             time (``None`` for deadlocking orders) — handy for histograms.
+        perf_engine: Optional shared :class:`~repro.perf.PerformanceEngine`.
+            Every ordering has a distinct fingerprint, so within one sweep
+            only the float-screened Howard mode helps; across repeated
+            sweeps (tests, benchmarks) results hit the cache directly.
 
     Raises:
         ValueError: The order space exceeds ``limit``.
@@ -72,7 +78,9 @@ def exhaustive_search(
     for ordering in all_orderings(system):
         total += 1
         try:
-            performance = analyze_system(system, ordering, engine=engine)
+            performance = analyze_system(
+                system, ordering, engine=engine, perf_engine=perf_engine
+            )
         except DeadlockError:
             deadlocks += 1
             if on_ordering is not None:

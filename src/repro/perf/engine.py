@@ -1,0 +1,211 @@
+"""The memoized, incremental performance-analysis engine.
+
+:class:`PerformanceEngine` is a drop-in substitute for
+:func:`repro.model.performance.analyze_system` that makes *repeated*
+analysis cheap — the single hottest lever of the DSE loop (ISSUE 1; see
+also the exploration-cost arguments in Alias 2018 and Chavet et al.).
+Three mechanisms stack, each preserving the uncached semantics:
+
+1. **Result memoization** — a content-addressed LRU keyed on the full
+   analysis fingerprint (structure + effective latencies + engine mode).
+   A hit returns the previously computed
+   :class:`~repro.model.performance.SystemPerformance` (or re-raises the
+   previously diagnosed :class:`~repro.errors.DeadlockError`) without any
+   graph work.  Values are frozen dataclasses, safe to share.
+2. **Incremental event graphs** — on a result miss whose *structure*
+   (topology + channel parameters + ordering) was seen before, the cached
+   event-graph skeleton is re-instantiated with patched process delays in
+   O(E), skipping TMG construction, place contraction, ordering
+   validation, and the token-free-cycle scan (liveness is structural).
+   Node and edge order are preserved exactly, so the exact engines produce
+   bit-identical results to a from-scratch build.
+3. **Float-first Howard** — with ``float_screen=True`` (the default) and
+   ``exact=True``, candidates are screened by float policy iteration and
+   only the winning critical cycle is re-verified exactly
+   (:func:`repro.tmg.howard.maximum_cycle_ratio_screened`).  The returned
+   cycle time is still an exact :class:`~fractions.Fraction`; only the
+   representative cycle among equally critical ones may differ.  Pass
+   ``float_screen=False`` for fully bit-identical reports including the
+   critical-cycle choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.errors import DeadlockError, NotLiveError
+from repro.model.performance import SystemPerformance, _system_deadlock
+from repro.perf.cache import MISS, CacheStats, LruCache
+from repro.perf.fingerprint import (
+    analysis_fingerprint,
+    effective_latencies,
+    structure_fingerprint,
+)
+from repro.perf.incremental import StructureEntry, build_structure
+from repro.tmg.analysis import Engine, analyze_event_graph
+
+
+@dataclass(frozen=True)
+class _CachedDeadlock:
+    """A memoized deadlock diagnosis; re-raised as a fresh error per hit."""
+
+    message: str
+    cycle: tuple[str, ...]
+
+    def error(self) -> DeadlockError:
+        return DeadlockError(self.message, cycle=list(self.cycle))
+
+
+class PerformanceEngine:
+    """Cached :func:`~repro.model.performance.analyze_system`.
+
+    Args:
+        max_results: LRU bound of the full-result cache (entries are one
+            small frozen dataclass each).
+        max_structures: LRU bound of the event-graph structure cache
+            (entries hold one TMG + skeleton; keep this modest).
+        incremental: Reuse event-graph structures across latency-only
+            changes.  Disable to ablate (every miss rebuilds the TMG).
+        float_screen: Screen exact Howard analyses in float arithmetic and
+            re-verify the winner exactly.  Exact cycle times either way.
+    """
+
+    def __init__(
+        self,
+        max_results: int = 4096,
+        max_structures: int = 128,
+        incremental: bool = True,
+        float_screen: bool = True,
+    ):
+        self.results = LruCache(max_results)
+        self.structures = LruCache(max_structures)
+        self.incremental = incremental
+        self.float_screen = float_screen
+
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        system: SystemGraph,
+        ordering: ChannelOrdering | None = None,
+        process_latencies: Mapping[str, int] | None = None,
+        engine: Engine | str = Engine.HOWARD,
+        exact: bool = True,
+    ) -> SystemPerformance:
+        """Cycle time and critical cycle, served from cache when possible.
+
+        Same signature, results, and raised errors as
+        :func:`repro.model.performance.analyze_system`.
+        """
+        engine = Engine(engine)
+        if ordering is None:
+            ordering = ChannelOrdering.declaration_order(system)
+        latencies = effective_latencies(system, process_latencies)
+        screen = self.float_screen and exact and engine is Engine.HOWARD
+        structure_key = structure_fingerprint(system, ordering)
+        result_key = analysis_fingerprint(
+            structure_key, latencies, engine.value, exact, screen
+        )
+
+        cached = self.results.get(result_key)
+        if cached is not MISS:
+            if isinstance(cached, _CachedDeadlock):
+                raise cached.error()
+            return cached
+
+        entry = self._structure(structure_key, system, ordering, latencies)
+        if entry.deadlock_cycle is not None:
+            error = _system_deadlock(
+                entry.model,
+                NotLiveError(
+                    "token-free cycle", cycle=list(entry.deadlock_cycle)
+                ),
+            )
+            self.results.put(
+                result_key,
+                _CachedDeadlock(str(error), tuple(error.cycle or ())),
+            )
+            raise error
+
+        graph = entry.instantiate(latencies)
+        report = analyze_event_graph(
+            graph,
+            engine=engine,
+            exact=exact,
+            float_screen=screen,
+            name=entry.model.tmg.name,
+            check_live=False,
+        )
+        performance = SystemPerformance(
+            cycle_time=report.cycle_time,
+            critical_processes=entry.model.critical_processes(
+                report.critical_cycle
+            ),
+            critical_channels=entry.model.critical_channels(
+                report.critical_cycle
+            ),
+            report=report,
+        )
+        self.results.put(result_key, performance)
+        return performance
+
+    # ------------------------------------------------------------------
+
+    def _structure(
+        self,
+        structure_key: str,
+        system: SystemGraph,
+        ordering: ChannelOrdering,
+        latencies: Mapping[str, int],
+    ) -> StructureEntry:
+        if not self.incremental:
+            return build_structure(system, ordering, latencies)
+        entry = self.structures.get(structure_key)
+        if entry is MISS:
+            entry = build_structure(system, ordering, latencies)
+            self.structures.put(structure_key, entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, CacheStats]:
+        """Live counters of both caches (``results`` and ``structures``)."""
+        return {"results": self.results.stats, "structures": self.structures.stats}
+
+    def stats_dict(self) -> dict[str, dict[str, int | float]]:
+        """JSON-friendly snapshot of :meth:`stats`."""
+        return {name: s.as_dict() for name, s in self.stats().items()}
+
+    def format_stats(self) -> str:
+        """Human-readable cache report (one line per cache)."""
+        lines = []
+        for name, s in self.stats().items():
+            lines.append(f"{name:>10}: {s}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        """Drop all cached entries (counters are retained)."""
+        self.results.clear()
+        self.structures.clear()
+
+
+#: Process-wide engine used by callers that opt in without carrying one.
+_default_engine: PerformanceEngine | None = None
+
+
+def default_engine() -> PerformanceEngine:
+    """The lazily created process-wide :class:`PerformanceEngine`."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = PerformanceEngine()
+    return _default_engine
+
+
+def reset_default_engine() -> None:
+    """Discard the process-wide engine (tests, long-lived services)."""
+    global _default_engine
+    _default_engine = None

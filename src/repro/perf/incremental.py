@@ -1,0 +1,139 @@
+"""Incremental event-graph construction for latency-only re-analysis.
+
+The ERMES explorer evaluates many implementation selections of the *same*
+system under the *same* ordering: between consecutive ``analyze_system``
+calls, only the per-process latencies change.  The expensive parts of an
+analysis call — validating the ordering, building the TMG, contracting it
+into the event graph, and scanning for token-free cycles — depend only on
+structure, never on delays:
+
+* the set of transitions and places is fixed by topology and ordering;
+* every edge's ``tokens`` comes from the initial marking (structural);
+* liveness (existence of a token-free cycle) ignores delays entirely;
+* only each edge's ``delay`` — the delay of its *target* transition —
+  moves, and then only for edges targeting a ``proc:`` transition
+  (channel transitions carry the structural channel latency, and the get
+  side of a buffered channel is always zero-delay).
+
+:class:`StructureEntry` therefore captures one build of the model and an
+edge-order-preserving skeleton of its event graph; :meth:`instantiate`
+patches process-transition delays into fresh :class:`~repro.tmg.event_graph.Edge`
+values in O(E) without touching the TMG.  Because node order, per-node edge
+order, tokens, and place names are all preserved exactly, running the exact
+Howard engine on an instantiated graph is *bit-identical* to running it on
+a from-scratch build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.errors import ValidationError
+from repro.model.build import PROCESS_PREFIX, SystemTmg, build_tmg
+from repro.tmg.deadlock import find_token_free_cycle
+from repro.tmg.event_graph import Edge, EventGraph, build_event_graph
+
+
+@dataclass(frozen=True)
+class _EdgeTemplate:
+    """One event-graph edge with its delay binding.
+
+    ``process`` names the worker whose latency the edge's delay tracks;
+    ``None`` marks a structurally fixed delay (channel transitions), stored
+    in ``fixed_delay``.
+    """
+
+    source: str
+    target: str
+    tokens: int
+    place: str
+    process: str | None
+    fixed_delay: int
+
+
+@dataclass
+class StructureEntry:
+    """The reusable, latency-independent part of one analysis request."""
+
+    model: SystemTmg
+    nodes: tuple[str, ...]
+    #: Per-node edge templates in the exact order build_event_graph emits.
+    templates: dict[str, tuple[_EdgeTemplate, ...]]
+    #: Token-free cycle (deadlock witness) or None — structural, computed once.
+    deadlock_cycle: list[str] | None
+
+    def instantiate(self, latencies: Mapping[str, int]) -> EventGraph:
+        """The event graph under ``latencies`` (full effective map).
+
+        Raises:
+            ValidationError: A latency is negative, with the same message
+                :func:`repro.model.build.build_tmg` would produce.
+        """
+        for name, latency in latencies.items():
+            if latency < 0:
+                raise ValidationError(
+                    f"latency override for {name!r} must be >= 0, got {latency}"
+                )
+        succ: dict[str, list[Edge]] = {}
+        for node in self.nodes:
+            edges = []
+            for t in self.templates[node]:
+                delay = (
+                    latencies[t.process] if t.process is not None
+                    else t.fixed_delay
+                )
+                edges.append(
+                    Edge(
+                        source=t.source,
+                        target=t.target,
+                        tokens=t.tokens,
+                        delay=delay,
+                        place=t.place,
+                    )
+                )
+            succ[node] = edges
+        return EventGraph(nodes=self.nodes, succ=succ)
+
+
+def build_structure(
+    system: SystemGraph,
+    ordering: ChannelOrdering | None,
+    process_latencies: Mapping[str, int] | None = None,
+) -> StructureEntry:
+    """Build the shared structure of a (system, ordering) pair.
+
+    Builds the TMG once (with whatever latencies the first caller passed —
+    they only seed the templates' *bindings*, not their values), records
+    the event graph skeleton, and runs the structural liveness scan.
+    """
+    model = build_tmg(system, ordering, process_latencies=process_latencies)
+    graph = build_event_graph(model.tmg)
+    templates: dict[str, tuple[_EdgeTemplate, ...]] = {}
+    for node in graph.nodes:
+        row = []
+        for edge in graph.succ[node]:
+            if edge.target.startswith(PROCESS_PREFIX):
+                process: str | None = edge.target[len(PROCESS_PREFIX):]
+                fixed = 0
+            else:
+                process = None
+                fixed = edge.delay
+            row.append(
+                _EdgeTemplate(
+                    source=edge.source,
+                    target=edge.target,
+                    tokens=edge.tokens,
+                    place=edge.place,
+                    process=process,
+                    fixed_delay=fixed,
+                )
+            )
+        templates[node] = tuple(row)
+    return StructureEntry(
+        model=model,
+        nodes=graph.nodes,
+        templates=templates,
+        deadlock_cycle=find_token_free_cycle(graph),
+    )

@@ -77,11 +77,14 @@ class ChannelState:
 
     @property
     def buffered(self) -> bool:
-        return self.channel.capacity > 0 or self.channel.initial_tokens > 0
+        """Delegates to :attr:`Channel.is_buffered` — the promotion of a
+        pre-loaded ``capacity == 0`` channel to a FIFO is declared on the
+        channel itself, not re-derived here."""
+        return self.channel.is_buffered
 
     @property
     def effective_capacity(self) -> int:
-        return max(self.channel.capacity, self.channel.initial_tokens)
+        return self.channel.effective_capacity
 
     # ------------------------------------------------------------------
     # Rendezvous protocol

@@ -10,6 +10,7 @@ from repro.tmg.analysis import (
     Engine,
     PerformanceReport,
     analyze,
+    analyze_event_graph,
     cycle_time,
     deadlock_witness,
     is_deadlocked,
@@ -33,7 +34,11 @@ from repro.tmg.firing import (
     measured_cycle_time,
 )
 from repro.tmg.graph import Place, TimedMarkedGraph, Transition
-from repro.tmg.howard import CycleRatioResult, maximum_cycle_ratio
+from repro.tmg.howard import (
+    CycleRatioResult,
+    maximum_cycle_ratio,
+    maximum_cycle_ratio_screened,
+)
 from repro.tmg.lawler import maximum_cycle_ratio_lawler
 
 __all__ = [
@@ -48,6 +53,7 @@ __all__ = [
     "TimedMarkedGraph",
     "Transition",
     "analyze",
+    "analyze_event_graph",
     "assert_live",
     "build_event_graph",
     "cycle_time",
@@ -59,6 +65,7 @@ __all__ = [
     "is_live",
     "maximum_cycle_ratio",
     "maximum_cycle_ratio_enumerated",
+    "maximum_cycle_ratio_screened",
     "maximum_cycle_ratio_lawler",
     "measured_cycle_time",
     "strongly_connected_components",

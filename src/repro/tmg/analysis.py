@@ -16,9 +16,9 @@ from typing import Union
 from repro.errors import NotLiveError, ReproError
 from repro.tmg.deadlock import find_token_free_cycle
 from repro.tmg.enumeration import maximum_cycle_ratio_enumerated
-from repro.tmg.event_graph import build_event_graph
+from repro.tmg.event_graph import EventGraph, build_event_graph
 from repro.tmg.graph import TimedMarkedGraph
-from repro.tmg.howard import maximum_cycle_ratio
+from repro.tmg.howard import maximum_cycle_ratio, maximum_cycle_ratio_screened
 from repro.tmg.lawler import maximum_cycle_ratio_lawler
 
 Number = Union[Fraction, float]
@@ -81,6 +81,7 @@ def analyze(
     tmg: TimedMarkedGraph,
     engine: Engine | str = Engine.HOWARD,
     exact: bool = True,
+    float_screen: bool = False,
 ) -> PerformanceReport:
     """Compute cycle time and critical cycle of a live TMG.
 
@@ -90,27 +91,60 @@ def analyze(
         exact: Exact rational arithmetic (Howard/enumeration are exact by
             construction in this mode; Lawler snaps to the nearest valid
             rational).
+        float_screen: With ``engine=HOWARD`` and ``exact=True``, screen in
+            float arithmetic and re-verify only the winning cycle exactly
+            (see :func:`repro.tmg.howard.maximum_cycle_ratio_screened`).
+            The cycle time stays exact; only the choice among equally
+            critical cycles may differ.
 
     Raises:
         NotLiveError: The TMG has a token-free cycle (deadlock).
         ReproError: The TMG is acyclic, which cannot arise from the
             Section 3 construction and indicates a malformed model.
     """
-    engine = Engine(engine)
-    graph = build_event_graph(tmg)
+    return analyze_event_graph(
+        build_event_graph(tmg),
+        engine=engine,
+        exact=exact,
+        float_screen=float_screen,
+        name=tmg.name,
+    )
 
-    cycle = find_token_free_cycle(graph)
-    if cycle is not None:
-        raise NotLiveError(
-            f"TMG {tmg.name!r} is not live: token-free cycle through "
-            + " -> ".join(cycle),
-            cycle=cycle,
-        )
+
+def analyze_event_graph(
+    graph: EventGraph,
+    engine: Engine | str = Engine.HOWARD,
+    exact: bool = True,
+    float_screen: bool = False,
+    name: str = "tmg",
+    check_live: bool = True,
+) -> PerformanceReport:
+    """:func:`analyze` on an already-contracted event graph.
+
+    This is the entry point of the incremental analysis path
+    (:mod:`repro.perf`): liveness depends only on the graph structure and
+    marking, never on delays, so a caller that patches edge delays between
+    calls can skip the token-free-cycle scan with ``check_live=False``
+    after establishing it once.
+    """
+    engine = Engine(engine)
+
+    if check_live:
+        cycle = find_token_free_cycle(graph)
+        if cycle is not None:
+            raise NotLiveError(
+                f"TMG {name!r} is not live: token-free cycle through "
+                + " -> ".join(cycle),
+                cycle=cycle,
+            )
 
     if engine is Engine.HOWARD:
-        result = maximum_cycle_ratio(graph, exact=exact)
+        if exact and float_screen:
+            result = maximum_cycle_ratio_screened(graph)
+        else:
+            result = maximum_cycle_ratio(graph, exact=exact)
         if result is None:
-            raise ReproError(f"TMG {tmg.name!r} has no cycles; cycle time undefined")
+            raise ReproError(f"TMG {name!r} has no cycles; cycle time undefined")
         return PerformanceReport(
             cycle_time=result.ratio,
             critical_cycle=result.cycle,
@@ -120,7 +154,7 @@ def analyze(
     if engine is Engine.LAWLER:
         ratio = maximum_cycle_ratio_lawler(graph, exact=exact)
         if ratio is None:
-            raise ReproError(f"TMG {tmg.name!r} has no cycles; cycle time undefined")
+            raise ReproError(f"TMG {name!r} has no cycles; cycle time undefined")
         return PerformanceReport(
             cycle_time=ratio,
             critical_cycle=(),
@@ -129,7 +163,7 @@ def analyze(
         )
     best = maximum_cycle_ratio_enumerated(graph)
     if best is None:
-        raise ReproError(f"TMG {tmg.name!r} has no cycles; cycle time undefined")
+        raise ReproError(f"TMG {name!r} has no cycles; cycle time undefined")
     ratio, witness = best
     return PerformanceReport(
         cycle_time=ratio if exact else float(ratio),

@@ -90,6 +90,55 @@ def maximum_cycle_ratio(
     return best
 
 
+def maximum_cycle_ratio_screened(graph: EventGraph) -> CycleRatioResult | None:
+    """Float-first screening with exact verification.
+
+    Runs Howard in float arithmetic (fast), lifts the ratio of the critical
+    cycle it reports back to an exact :class:`~fractions.Fraction`, and then
+    certifies optimality with one exact Bellman–Ford pass: if no cycle has
+    a positive weight under the reweighting ``d − λ·m``, that exact ratio
+    *is* the maximum.  Should the float screen have missed the true critical
+    cycle (a near-tie inside its tolerance), the exact cycle-ratio-iteration
+    completion takes over and converges to the exact optimum anyway.
+
+    The result is therefore always exact — identical in value to
+    ``maximum_cycle_ratio(graph, exact=True)`` — while the bulk of the work
+    runs in float.  Only the reported critical *cycle* may differ when
+    several distinct cycles share the maximal ratio (any returned cycle is
+    certified to attain it).
+
+    Raises:
+        NotLiveError: If a reachable cycle carries zero tokens.
+    """
+    screen = maximum_cycle_ratio(graph, exact=False)
+    if screen is None:
+        return None
+    by_place = {edge.place: edge for edge in graph.edges}
+    edges = [by_place[place] for place in screen.places]
+    delay_sum = sum(edge.delay for edge in edges)
+    token_sum = sum(edge.tokens for edge in edges)
+    if token_sum == 0:
+        raise NotLiveError(
+            "event graph has a token-free cycle through "
+            + " -> ".join(screen.cycle),
+            cycle=list(screen.cycle),
+        )
+    ratio = Fraction(delay_sum, token_sum)
+    nodes = list(graph.nodes)
+    witness = _find_positive_cycle(nodes, graph.succ, ratio, exact=True)
+    if witness is None:
+        return CycleRatioResult(
+            ratio=ratio, cycle=screen.cycle, places=screen.places
+        )
+    return _ratio_iteration_completion(
+        nodes,
+        graph.succ,
+        ratio,
+        (list(screen.cycle), list(screen.places)),
+        exact=True,
+    )
+
+
 def _howard_scc(
     nodes: list[str], succ: dict[str, list[Edge]], exact: bool
 ) -> CycleRatioResult:

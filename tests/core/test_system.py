@@ -54,6 +54,31 @@ class TestChannel:
         assert c.capacity == 0
         assert c.initial_tokens == 0
 
+    def test_default_is_rendezvous(self):
+        c = Channel("c", "a", "b")
+        assert not c.is_buffered
+        assert c.effective_capacity == 0
+
+    def test_capacity_makes_buffered(self):
+        c = Channel("c", "a", "b", capacity=3)
+        assert c.is_buffered
+        assert c.effective_capacity == 3
+
+    def test_initial_tokens_promote_to_buffered(self):
+        # capacity == 0 but pre-loaded: cannot be a rendezvous — the first
+        # transfers complete with no producer involved.  The promotion is
+        # explicit here, not buried in the simulator/model layers.
+        c = Channel("c", "a", "b", initial_tokens=2)
+        assert c.capacity == 0
+        assert c.is_buffered
+        assert c.effective_capacity == 2
+
+    def test_effective_capacity_is_max_of_both(self):
+        assert Channel("c", "a", "b", capacity=3,
+                       initial_tokens=1).effective_capacity == 3
+        assert Channel("c", "a", "b", capacity=1,
+                       initial_tokens=4).effective_capacity == 4
+
     def test_zero_latency_rejected(self):
         with pytest.raises(ValidationError):
             Channel("c", "a", "b", latency=0)

@@ -173,3 +173,62 @@ class TestLatencyCaps:
     def test_caps_clamped_at_zero(self, config):
         caps = process_latency_caps(config, target_cycle_time=1)
         assert caps["P2"] == 0
+
+    @staticmethod
+    def _fifo_consumer_setup():
+        """A consumer behind a high-latency FIFO input.
+
+        The FIFO decouples the consumer: its serial chain dequeues in zero
+        cycles, so the channel's 10-cycle transfer latency belongs to the
+        *producer's* bound only.
+        """
+        from repro.core import SystemBuilder
+
+        system = (
+            SystemBuilder("fifo")
+            .source("src", latency=1)
+            .process("A", latency=2)
+            .sink("snk", latency=1)
+            .channel("i", "src", "A", latency=10, capacity=4)
+            .channel("o", "A", "snk", latency=1)
+            .build()
+        )
+        library = ImplementationLibrary([
+            ParetoSet.from_points("A", [
+                Implementation("A.slow", 8, 10.0),
+                Implementation("A.fast", 2, 26.0),
+            ]),
+        ])
+        config = SystemConfiguration.initial(
+            system, library,
+            ordering=ChannelOrdering.declaration_order(system),
+        )
+        return system, config
+
+    def test_buffered_input_does_not_count(self):
+        system, config = self._fifo_consumer_setup()
+        caps = process_latency_caps(config, target_cycle_time=15)
+        # A's bound: buffered input i contributes 0, output o contributes 1
+        # -> cap 14.  Summing the raw latencies (10 + 1) would cap at 4 and
+        # wrongly exclude A.slow (latency 8), which the next test shows is
+        # feasible.
+        assert caps["A"] == 14
+
+    def test_excluded_implementation_is_actually_feasible(self):
+        from repro.model import analyze_system
+
+        system, config = self._fifo_consumer_setup()
+        slow = config.with_selection({"A": "A.slow"})
+        performance = analyze_system(
+            system, slow.ordering,
+            process_latencies=slow.process_latencies(),
+        )
+        assert performance.cycle_time <= 15
+
+    def test_area_recovery_can_reach_the_implementation(self):
+        system, config = self._fifo_consumer_setup()
+        caps = process_latency_caps(config, target_cycle_time=15)
+        problem = area_recovery_problem(config, [], slack=1000.0,
+                                        latency_caps=caps)
+        solution = branch_bound.solve(problem)
+        assert solution.selection["A"] == "A.slow"

@@ -136,3 +136,33 @@ class TestBuffered:
     def test_effective_capacity(self):
         assert buffered(capacity=2, tokens=0).effective_capacity == 2
         assert buffered(capacity=1, tokens=3).effective_capacity == 3
+
+
+class TestPromotion:
+    """capacity == 0 with initial tokens is a buffered FIFO, not a
+    rendezvous — and the state must mirror the Channel's own verdict."""
+
+    def test_zero_capacity_zero_tokens_is_rendezvous(self):
+        state = ChannelState(Channel("c", "p", "q"))
+        assert not state.buffered
+        assert not state.offer_put(0, "x").complete  # blocks: rendezvous
+
+    def test_zero_capacity_with_tokens_is_buffered(self):
+        state = ChannelState(
+            Channel("c", "p", "q", initial_tokens=2),
+            initial_payloads=("a", "b"),
+        )
+        assert state.buffered
+        assert state.effective_capacity == 2
+        # The pre-loaded items serve gets with no producer in sight.
+        assert state.offer_get(0).payload == "a"
+        assert state.offer_get(1).payload == "b"
+
+    def test_state_agrees_with_channel_properties(self):
+        for capacity, tokens in ((0, 0), (0, 2), (3, 1), (2, 0)):
+            channel = Channel("c", "p", "q", capacity=capacity,
+                              initial_tokens=tokens)
+            state = ChannelState(channel, initial_payloads=(None,) * tokens)
+            assert state.buffered == channel.is_buffered
+            if channel.is_buffered:
+                assert state.effective_capacity == channel.effective_capacity

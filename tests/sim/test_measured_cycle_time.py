@@ -1,0 +1,85 @@
+"""The warm-up windowing of ``SimulationResult.measured_cycle_time``.
+
+The estimator discards the first half of the completion-time series (the
+start-up transient) and averages the second half:
+
+    half  = len(times) // 2
+    rate  = (times[-1] - times[half]) / (len(times) - 1 - half)
+
+These tests pin the window arithmetic for odd and even lengths, the
+``< 4 -> None`` contract, and the agreement with the analytic cycle time
+pi(G) on a known two-process system.
+"""
+
+from fractions import Fraction
+
+from repro.model import analyze_system
+from repro.sim import SimulationResult, simulate
+
+
+def result_with(times: list[int], process: str = "P") -> SimulationResult:
+    return SimulationResult(
+        iterations={process: len(times)},
+        times={process: times[-1] if times else 0},
+        completion_times={process: times},
+        compute_cycles={process: 0},
+        stall_cycles={process: 0},
+        channel_transfers={},
+    )
+
+
+class TestWindowing:
+    def test_even_length(self):
+        # 6 samples: window is times[3:], 2 steps -> (62 - 30) / 2
+        times = [1, 9, 20, 30, 45, 62]
+        assert result_with(times).measured_cycle_time("P") == Fraction(32, 2)
+
+    def test_odd_length(self):
+        # 5 samples: window is times[2:], 2 steps -> (40 - 18) / 2
+        times = [1, 9, 18, 28, 40]
+        assert result_with(times).measured_cycle_time("P") == Fraction(22, 2)
+
+    def test_minimum_length_four(self):
+        # 4 samples: window is times[2:], 1 step -> 21 - 14
+        times = [2, 7, 14, 21]
+        assert result_with(times).measured_cycle_time("P") == Fraction(7)
+
+    def test_transient_is_excluded(self):
+        # A huge start-up spike in the first half must not bias the rate.
+        slow_start = [100, 101, 102, 103, 105, 107]
+        assert result_with(slow_start).measured_cycle_time("P") == Fraction(2)
+
+    def test_steady_series_gives_exact_period(self):
+        times = list(range(0, 70, 7))
+        assert result_with(times).measured_cycle_time("P") == Fraction(7)
+
+
+class TestTooShort:
+    def test_lengths_below_four_return_none(self):
+        for n in range(4):
+            times = list(range(0, n * 5, 5))
+            assert result_with(times).measured_cycle_time("P") is None
+
+    def test_unknown_process_returns_none(self):
+        assert result_with([1, 2, 3, 4]).measured_cycle_time("ghost") is None
+
+    def test_non_monotone_window_returns_none(self):
+        # A decreasing tail would yield a negative span; the estimator
+        # refuses rather than reporting a nonsense period.
+        assert result_with([1, 2, 30, 4]).measured_cycle_time("P") is None
+
+
+class TestAnalyticAgreement:
+    def test_two_process_pipeline_matches_pi(self, tiny_pipeline):
+        # tiny_pipeline: src -> A(3) -> B(2) -> snk over rendezvous
+        # channels; the simulator's steady-state period must equal the
+        # TMG's maximum cycle ratio exactly.
+        predicted = analyze_system(tiny_pipeline).cycle_time
+        result = simulate(tiny_pipeline, iterations=60)
+        for process in ("A", "B"):
+            assert result.measured_cycle_time(process) == predicted
+
+    def test_feedback_system_matches_pi(self, feedback_system):
+        predicted = analyze_system(feedback_system).cycle_time
+        result = simulate(feedback_system, iterations=60)
+        assert result.measured_cycle_time("B") == predicted
