@@ -1,0 +1,54 @@
+"""LINT — static-analysis throughput on a large synthetic SoC.
+
+The linter fronts every simulation and exploration run, so it must be
+cheap even on SoC-scale graphs: the full rule catalog — structural rules,
+deadlock diagnosis, the Algorithm-1 comparison with its two exact
+analyses, and the hygiene sweeps — over a 300-process synthetic SoC has a
+hard budget of one second.  The structural pre-flight subset (what the
+explorer and the simulator actually run per invocation) must stay in the
+low milliseconds.
+"""
+
+import time
+
+from repro.core import synthetic_soc
+from repro.lint import PREFLIGHT_RULES, lint_system, preflight
+from repro.ordering import declaration_ordering
+
+
+def test_bench_lint_full_catalog_300(benchmark):
+    system = synthetic_soc(300, seed=0)
+    ordering = declaration_ordering(system)
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        lint_system, args=(system, ordering), rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+    elapsed = time.perf_counter() - start
+    assert elapsed < 1.0, "full-catalog lint of 300 processes must be < 1 s"
+    # The declaration order of a random SoC leaves cycle time on the
+    # table, so the catalog has real work to do (ERM301 runs two exact
+    # analyses plus Algorithm 1) — this is not an empty-run measurement.
+    assert "ERM301" in result.codes()
+    benchmark.extra_info.update(
+        {
+            "processes": 300,
+            "channels": len(system.channels),
+            "findings": len(result),
+            "codes": ",".join(result.codes()),
+            "elapsed_s": round(elapsed, 4),
+        }
+    )
+
+
+def test_bench_lint_preflight_300(benchmark):
+    system = synthetic_soc(300, seed=0)
+    ordering = declaration_ordering(system)
+    result = benchmark.pedantic(
+        preflight, args=(system, ordering), rounds=5, iterations=1,
+        warmup_rounds=1,
+    )
+    assert result is None  # clean design: preflight returns, not raises
+    benchmark.extra_info.update(
+        {"processes": 300, "rules": ",".join(PREFLIGHT_RULES)}
+    )

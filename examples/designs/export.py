@@ -1,0 +1,54 @@
+"""Regenerate the checked-in design JSONs under ``examples/designs/``.
+
+These files feed two consumers:
+
+* documentation — ready-made inputs for every ``ermes`` subcommand
+  (``ermes lint examples/designs/motivating.json``);
+* CI — the workflow runs ``ermes lint --fail-on error`` over every design
+  here, so the shipped examples can never regress into structurally
+  broken or every-ordering-deadlocked specifications.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/designs/export.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import (
+    fork_join,
+    motivating_example,
+    motivating_suboptimal_ordering,
+    pipeline,
+    save_ordering,
+    save_system,
+    synthetic_soc,
+)
+
+HERE = Path(__file__).resolve().parent
+
+
+def main() -> None:
+    designs = {
+        "motivating": motivating_example(),
+        "fork_join": fork_join(3),
+        "pipeline": pipeline(5),
+        "soc24": synthetic_soc(24, seed=0),
+    }
+    for name, system in designs.items():
+        path = HERE / f"{name}.json"
+        save_system(system, path)
+        print(f"wrote {path}")
+    # The Section 2 hand-fixed ordering: live but suboptimal, so
+    # `ermes lint --ordering` demonstrates ERM301 with the exact delta.
+    ordering_path = HERE / "motivating.suboptimal.ordering.json"
+    save_ordering(
+        motivating_suboptimal_ordering(designs["motivating"]), ordering_path
+    )
+    print(f"wrote {ordering_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -68,6 +68,7 @@ from repro.errors import (
     SimulationError,
     ValidationError,
 )
+from repro.diagnostics import Diagnostic, LintError, OrderingFix, Severity
 from repro.hls import (
     ChannelPhysics,
     Implementation,
@@ -78,6 +79,7 @@ from repro.hls import (
     synthesize_pareto_set,
     transfer_latency,
 )
+from repro.lint import LintResult, lint_system, preflight
 from repro.model import (
     SystemPerformance,
     analyze_system,
@@ -120,6 +122,7 @@ __all__ = [
     "ChannelPhysics",
     "ConfigurationError",
     "DeadlockError",
+    "Diagnostic",
     "Engine",
     "ExplorationResult",
     "Explorer",
@@ -127,12 +130,16 @@ __all__ = [
     "ImplementationLibrary",
     "InfeasibleError",
     "KnobSpace",
+    "LintError",
+    "LintResult",
     "NotLiveError",
+    "OrderingFix",
     "ParetoSet",
     "PerformanceReport",
     "Process",
     "ProcessKind",
     "ReproError",
+    "Severity",
     "SimulationDeadlock",
     "SimulationError",
     "SimulationResult",
@@ -163,6 +170,7 @@ __all__ = [
     "is_deadlock_free",
     "is_live",
     "iteration_table",
+    "lint_system",
     "load_ordering",
     "load_system",
     "measured_cycle_time",
@@ -173,6 +181,7 @@ __all__ = [
     "motivating_suboptimal_ordering",
     "pareto_filter",
     "pipeline",
+    "preflight",
     "random_ordering",
     "save_ordering",
     "save_system",

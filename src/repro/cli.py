@@ -88,6 +88,8 @@ def _cmd_order(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.lint import format_witness
+
     system = load_system(args.system)
     ordering = _load_ordering_arg(system, args.ordering)
     cycle = deadlock_cycle(system, ordering)
@@ -95,7 +97,58 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print("deadlock-free")
         return 0
     print("DEADLOCK: circular wait through " + " -> ".join(cycle))
+    print("  " + format_witness(system, ordering, cycle))
+    print("run `ermes lint` for the full diagnosis, or `ermes order` "
+          "for a live ordering")
     return 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        Severity,
+        apply_fixes,
+        lint_system,
+        render_json,
+        render_sarif,
+        render_text,
+    )
+
+    system = load_system(args.system)
+    ordering = None
+    if args.ordering:
+        ordering = load_ordering(args.ordering)
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    result = lint_system(
+        system, ordering, library=None, select=select, ignore=ignore
+    )
+
+    if args.fix:
+        output = args.output or args.ordering
+        if output is None:
+            print("error: --fix needs --ordering or -o/--output to know "
+                  "where to write the corrected ordering", file=sys.stderr)
+            return 2
+        outcome = apply_fixes(system, result.ordering, result.diagnostics)
+        if outcome.changed:
+            save_ordering(outcome.ordering, output)
+            print(f"applied {len(outcome.applied)} fix(es) "
+                  f"[{', '.join(d.rule for d in outcome.applied)}]; "
+                  f"corrected ordering written to {output}")
+            result = lint_system(
+                system, outcome.ordering, select=select, ignore=ignore
+            )
+        else:
+            print("nothing to fix")
+
+    renderers = {
+        "text": lambda r: render_text(r, verbose=args.verbose),
+        "json": render_json,
+        "sarif": render_sarif,
+    }
+    print(renderers[args.format](result), end="")
+    threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    return 1 if result.has_at_least(threshold) else 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -364,6 +417,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("system")
     p.add_argument("--ordering")
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "lint",
+        help="static design analysis (rule catalog: docs/LINT_RULES.md)",
+    )
+    p.add_argument("system")
+    p.add_argument("--ordering", help="ordering JSON file to lint")
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "sarif"],
+                   help="output format (sarif follows SARIF 2.1.0)")
+    p.add_argument("--select",
+                   help="comma-separated rule codes or prefixes to run "
+                        "(e.g. ERM2,ERM301)")
+    p.add_argument("--ignore",
+                   help="comma-separated rule codes or prefixes to skip")
+    p.add_argument("--fail-on", dest="fail_on", default="error",
+                   choices=["error", "warning"],
+                   help="lowest severity that makes the exit code 1")
+    p.add_argument("--fix", action="store_true",
+                   help="apply machine-applicable fix-its and write the "
+                        "corrected ordering JSON")
+    p.add_argument("-o", "--output",
+                   help="where --fix writes the corrected ordering "
+                        "(default: the --ordering file)")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print each fix-it's description")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("simulate", help="discrete-event simulation")
     p.add_argument("system")

@@ -145,7 +145,16 @@ class Explorer:
     # ------------------------------------------------------------------
 
     def run(self, config: SystemConfiguration) -> ExplorationResult:
-        """Explore from ``config`` until convergence."""
+        """Explore from ``config`` until convergence.
+
+        Raises:
+            LintError: When the structural pre-flight (``ERM1xx`` /
+                ``ERM302``) rejects the specification; the exception
+                carries the coded diagnostics.
+        """
+        from repro.lint import preflight
+
+        preflight(config.system, config.ordering)
         result = ExplorationResult(target_cycle_time=self.target_cycle_time)
         visited: set[tuple[tuple[str, str], ...]] = {config.selection_key()}
         # Computed once, deliberately: the caps depend only on the target

@@ -47,6 +47,11 @@ def sweep_targets(
     ``explorer_kwargs`` provides one): neighbouring targets revisit many of
     the same configurations, so the warm cache serves them directly.
     """
+    from repro.lint import preflight
+
+    # One structural pre-flight up front; every per-target Explorer.run
+    # re-checks, but failing here reports the codes before any ILP work.
+    preflight(config.system, config.ordering)
     explorer_kwargs.setdefault("perf_engine", PerformanceEngine())
     points: list[SweepPoint] = []
     current = config

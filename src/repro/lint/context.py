@@ -1,0 +1,265 @@
+"""The memoized analysis context shared by all lint rules.
+
+Several rules need the same expensive facts — is the ordering a valid
+permutation, does the configuration deadlock, what does Algorithm 1
+produce, what cycle time does an ordering achieve.  :class:`LintContext`
+computes each fact once and caches it, and routes every performance
+analysis through a :class:`~repro.perf.PerformanceEngine` so repeated
+linting (pre-flight before every exploration/simulation) stays cheap and
+cycle-time deltas are Fraction-exact and cache-served.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.core.validation import ordering_diagnostics, structural_diagnostics
+from repro.diagnostics import Diagnostic
+from repro.errors import DeadlockError, ReproError
+from repro.perf.engine import PerformanceEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hls.pareto import ImplementationLibrary
+    from repro.model.performance import SystemPerformance
+
+_UNSET = object()
+
+
+class LintContext:
+    """Everything a rule may ask about one ``(system, ordering, library)``.
+
+    Rules must treat the context as read-only.  All derived facts are
+    memoized, so rule order never affects cost, and rules that depend on a
+    *sound* configuration (deadlock and performance rules) can gate on
+    :meth:`structure_ok`/:meth:`ordering_ok` cheaply.
+    """
+
+    def __init__(
+        self,
+        system: SystemGraph,
+        ordering: ChannelOrdering | None = None,
+        library: "ImplementationLibrary | None" = None,
+        perf_engine: PerformanceEngine | None = None,
+    ):
+        self.system = system
+        self.ordering = ordering or ChannelOrdering.declaration_order(system)
+        self.library = library
+        self.perf_engine = perf_engine or PerformanceEngine()
+        self._structural: list[Diagnostic] | None = None
+        self._ordering_issues: list[Diagnostic] | None = None
+        self._witness: object = _UNSET
+        self._optimized: object = _UNSET
+        self._dead_loops: list[tuple[str, ...]] | None = None
+
+    # ------------------------------------------------------------------
+    # Structural soundness
+    # ------------------------------------------------------------------
+
+    def structural(self) -> list[Diagnostic]:
+        """The ``ERM101``–``ERM107`` findings of the system alone."""
+        if self._structural is None:
+            self._structural = structural_diagnostics(self.system)
+        return self._structural
+
+    def ordering_issues(self) -> list[Diagnostic]:
+        """The ``ERM108`` ordering ↔ topology findings."""
+        if self._ordering_issues is None:
+            self._ordering_issues = ordering_diagnostics(
+                self.system, self.ordering
+            )
+        return self._ordering_issues
+
+    def structure_ok(self) -> bool:
+        """True when the topology has no structural errors."""
+        return not self.structural()
+
+    def ordering_ok(self) -> bool:
+        """True when the ordering is a valid permutation of every port."""
+        return not self.ordering_issues()
+
+    def sound(self) -> bool:
+        """True when deeper (deadlock/performance) analysis is meaningful."""
+        return self.structure_ok() and self.ordering_ok()
+
+    # ------------------------------------------------------------------
+    # Deadlock facts
+    # ------------------------------------------------------------------
+
+    def deadlock_witness(self) -> tuple[str, ...] | None:
+        """The circular wait of the current ordering, or ``None`` if live.
+
+        System-level names alternating process/channel, as produced by
+        :func:`repro.model.performance.deadlock_cycle`.  ``None`` as well
+        when the configuration is not sound enough to build the TMG.
+        """
+        if self._witness is _UNSET:
+            if not self.sound():
+                self._witness = None
+            else:
+                from repro.model.performance import deadlock_cycle
+
+                self._witness = deadlock_cycle(self.system, self.ordering)
+        return self._witness  # type: ignore[return-value]
+
+    def token_free_topology_loops(self) -> list[tuple[str, ...]]:
+        """Topology cycles on which *no* channel carries an initial token.
+
+        Every such loop deadlocks under **every** statement ordering: the
+        forward path through each member process (from its get of the
+        incoming loop channel to its put of the outgoing one) crosses only
+        unmarked places, so the loop closes a token-free TMG cycle
+        regardless of how gets and puts are ordered.  Reordering cannot
+        help — only pre-loading a channel (``initial_tokens >= 1``) can.
+
+        Returns one witness cycle (alternating process and channel names,
+        starting at a process) per strongly-connected component of the
+        zero-token channel subgraph.
+        """
+        if self._dead_loops is None:
+            self._dead_loops = _token_free_loops(self.system)
+        return self._dead_loops
+
+    def reordering_can_fix_deadlock(self) -> bool:
+        """True when the deadlock is ordering-induced (Algorithm 1 helps)."""
+        return not self.token_free_topology_loops()
+
+    # ------------------------------------------------------------------
+    # Performance facts
+    # ------------------------------------------------------------------
+
+    def optimized_ordering(self) -> ChannelOrdering | None:
+        """The Algorithm-1 ordering, or ``None`` when it cannot be built.
+
+        Memoized; seeded with the current ordering so timestamp tie-breaks
+        match what a designer running ``ermes order`` would get.
+        """
+        if self._optimized is _UNSET:
+            if not self.sound():
+                self._optimized = None
+            else:
+                from repro.ordering.algorithm import channel_ordering
+
+                try:
+                    self._optimized = channel_ordering(
+                        self.system, initial_ordering=self.ordering
+                    )
+                except ReproError:
+                    self._optimized = None
+        return self._optimized  # type: ignore[return-value]
+
+    def performance_of(
+        self, ordering: ChannelOrdering
+    ) -> "SystemPerformance | None":
+        """Exact cycle-time analysis of ``ordering``, or ``None`` on
+        deadlock.  Served through the shared performance engine, so a
+        repeated query (and the explorer that runs right after a clean
+        pre-flight) hits the cache."""
+        from repro.model.performance import analyze_system
+
+        try:
+            return analyze_system(
+                self.system,
+                ordering,
+                exact=True,
+                perf_engine=self.perf_engine,
+            )
+        except DeadlockError:
+            return None
+
+
+def _token_free_loops(system: SystemGraph) -> list[tuple[str, ...]]:
+    """One process/channel witness cycle per dead SCC of the zero-token
+    channel subgraph (iterative Tarjan; linear time)."""
+    edges: dict[str, list[tuple[str, str]]] = {
+        p.name: [] for p in system.processes
+    }
+    for channel in system.channels:
+        if channel.initial_tokens == 0:
+            edges[channel.producer].append((channel.consumer, channel.name))
+
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = 0
+    sccs: list[list[str]] = []
+
+    for root in edges:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, i = work[-1]
+            if i == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            while i < len(edges[node]):
+                successor = edges[node][i][0]
+                i += 1
+                if successor not in index:
+                    work[-1] = (node, i)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    loops: list[tuple[str, ...]] = []
+    for component in sccs:
+        members = set(component)
+        loops.append(_witness_in_scc(edges, sorted(members)[0], members))
+    loops.sort()
+    return loops
+
+
+def _witness_in_scc(
+    edges: dict[str, list[tuple[str, str]]], start: str, members: set[str]
+) -> tuple[str, ...]:
+    """A concrete cycle through ``start`` inside one SCC, as alternating
+    process and channel names."""
+    # DFS from start constrained to the SCC until we loop back to start.
+    path: list[tuple[str, str | None]] = [(start, None)]
+    seen = {start}
+    work: list[int] = [0]
+    while work:
+        node = path[-1][0]
+        i = work[-1]
+        succs = [e for e in edges[node] if e[0] in members]
+        if i < len(succs):
+            work[-1] += 1
+            successor, channel = succs[i]
+            if successor == start:
+                path.append((successor, channel))
+                cycle: list[str] = []
+                for k in range(len(path) - 1):
+                    cycle.append(path[k][0])
+                    cycle.append(path[k + 1][1] or "")
+                return tuple(cycle)
+            if successor not in seen:
+                seen.add(successor)
+                path.append((successor, channel))
+                work.append(0)
+        else:
+            work.pop()
+            path.pop()
+    return (start,)  # unreachable for a true SCC; defensive

@@ -1,0 +1,178 @@
+"""The rule engine: rule descriptors, registration, and selection.
+
+Each lint rule is a small function ``(LintContext) -> Iterable[Diagnostic]``
+registered under a stable code (``ERM101``, ``ERM201``, ...).  The
+:class:`RuleRegistry` holds the catalog, supports ``--select``/``--ignore``
+filtering by exact code or prefix (``ERM3`` selects every performance
+rule), and is what the renderers consult for SARIF rule metadata.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.diagnostics import Diagnostic, Severity
+from repro.errors import ValidationError
+from repro.lint.context import LintContext
+
+RuleCheck = Callable[[LintContext], Iterable[Diagnostic]]
+
+_CODE_RE = re.compile(r"^ERM\d{3}$")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry of the rule catalog.
+
+    Attributes:
+        code: Stable identifier (``ERM`` + three digits; the hundreds digit
+            is the category: 1 structural, 2 deadlock, 3 performance,
+            4 hygiene).
+        name: Short kebab-case name (used as the SARIF rule name).
+        severity: Default severity of the findings this rule emits.
+        summary: One-line description for catalogs and SARIF metadata.
+        check: The rule body.
+    """
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    check: RuleCheck
+
+    def __post_init__(self) -> None:
+        if not _CODE_RE.match(self.code):
+            raise ValidationError(
+                f"rule code {self.code!r} must match ERM<3 digits>"
+            )
+
+    def run(self, context: LintContext) -> list[Diagnostic]:
+        """Execute the rule, asserting it only emits its own code."""
+        findings = list(self.check(context))
+        for finding in findings:
+            if finding.rule != self.code:
+                raise ValidationError(
+                    f"rule {self.code} emitted a diagnostic labelled "
+                    f"{finding.rule!r}"
+                )
+        return findings
+
+
+class RuleRegistry:
+    """An ordered catalog of lint rules, filterable by code or prefix."""
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self._rules: dict[str, Rule] = {}
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> Rule:
+        if rule.code in self._rules:
+            raise ValidationError(f"duplicate lint rule {rule.code!r}")
+        self._rules[rule.code] = rule
+        return rule
+
+    def register(
+        self, code: str, name: str, severity: Severity, summary: str
+    ) -> Callable[[RuleCheck], RuleCheck]:
+        """Decorator form of :meth:`add` for rule modules."""
+
+        def decorate(check: RuleCheck) -> RuleCheck:
+            self.add(
+                Rule(
+                    code=code,
+                    name=name,
+                    severity=severity,
+                    summary=summary,
+                    check=check,
+                )
+            )
+            return check
+
+        return decorate
+
+    # ------------------------------------------------------------------
+
+    def rules(self) -> tuple[Rule, ...]:
+        """All rules in code order."""
+        return tuple(self._rules[code] for code in sorted(self._rules))
+
+    def rule(self, code: str) -> Rule:
+        try:
+            return self._rules[code]
+        except KeyError:
+            raise ValidationError(f"unknown lint rule {code!r}") from None
+
+    def codes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._rules))
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules())
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._rules
+
+    # ------------------------------------------------------------------
+
+    def selected(
+        self,
+        select: Sequence[str] | None = None,
+        ignore: Sequence[str] | None = None,
+    ) -> tuple[Rule, ...]:
+        """The rules surviving ``--select``/``--ignore`` filtering.
+
+        Each entry of either list is an exact code (``ERM301``) or a
+        prefix (``ERM3``, ``ERM``).  ``select=None`` means everything;
+        ``ignore`` always wins over ``select``.  Unknown entries raise,
+        so a typo in a CI invocation fails loudly instead of silently
+        linting nothing.
+        """
+        for pattern in list(select or ()) + list(ignore or ()):
+            if not any(code.startswith(pattern) for code in self._rules):
+                raise ValidationError(
+                    f"rule selector {pattern!r} matches no registered rule "
+                    f"(known: {', '.join(self.codes())})"
+                )
+
+        def matches(code: str, patterns: Sequence[str]) -> bool:
+            return any(code.startswith(p) for p in patterns)
+
+        chosen = []
+        for rule in self.rules():
+            if select is not None and not matches(rule.code, select):
+                continue
+            if ignore and matches(rule.code, ignore):
+                continue
+            chosen.append(rule)
+        return tuple(chosen)
+
+
+#: Registry used by :func:`repro.lint.lint_system` unless one is passed in.
+_default: RuleRegistry | None = None
+
+
+def default_registry() -> RuleRegistry:
+    """The process-wide registry with the full built-in catalog loaded."""
+    global _default
+    if _default is None:
+        registry = RuleRegistry()
+        from repro.lint.rules import register_builtin_rules
+
+        register_builtin_rules(registry)
+        _default = registry
+    return _default
+
+
+def category(code: str) -> str:
+    """Human name of a rule code's category (its hundreds digit)."""
+    return {
+        "1": "structural",
+        "2": "deadlock",
+        "3": "performance",
+        "4": "hygiene",
+    }.get(code[3:4], "other")

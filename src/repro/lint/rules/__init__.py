@@ -1,0 +1,27 @@
+"""The built-in rule catalog, one module per ``ERMx``-hundred category."""
+
+from __future__ import annotations
+
+from repro.lint.registry import RuleRegistry
+from repro.lint.rules.deadlock import register_deadlock
+from repro.lint.rules.hygiene import register_hygiene
+from repro.lint.rules.performance import register_performance
+from repro.lint.rules.structural import register_structural
+
+
+def register_builtin_rules(registry: RuleRegistry) -> RuleRegistry:
+    """Register the full built-in catalog on ``registry`` and return it."""
+    register_structural(registry)
+    register_deadlock(registry)
+    register_performance(registry)
+    register_hygiene(registry)
+    return registry
+
+
+__all__ = [
+    "register_builtin_rules",
+    "register_deadlock",
+    "register_hygiene",
+    "register_performance",
+    "register_structural",
+]

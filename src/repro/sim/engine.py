@@ -84,9 +84,14 @@ class Simulator:
         initial_payloads: Mapping[str, tuple[Any, ...]] | None = None,
         record_trace: bool = False,
     ):
+        from repro.lint import preflight
+
         self.system = system
         self.ordering = ordering or ChannelOrdering.declaration_order(system)
-        self.ordering.validate(system)
+        # Structural pre-flight (ERM1xx + ERM302): subsumes the plain
+        # ordering.validate() and rejects specifications that would
+        # deadlock under *every* ordering before any cycle is simulated.
+        preflight(system, self.ordering)
         behaviors = behaviors or {}
         overrides = dict(process_latencies or {})
         payloads = initial_payloads or {}

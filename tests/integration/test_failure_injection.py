@@ -18,8 +18,15 @@ class TestCliFailures:
     def test_malformed_json_exits_nonzero(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
         path.write_text("{not json")
-        with pytest.raises(json.JSONDecodeError):
-            main(["analyze", str(path)])
+        # JSON decode failures surface as ValidationError -> exit 2,
+        # never as a raw traceback.
+        assert main(["analyze", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+
+    def test_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
 
     def test_wrong_schema_reports_error(self, tmp_path, capsys):
         path = tmp_path / "bad.json"

@@ -1,0 +1,28 @@
+"""Fixtures for the lint suite (root conftest provides the motivating ones)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SystemBuilder
+
+
+@pytest.fixture()
+def token_free_ring():
+    """A two-worker feedback loop with no initial tokens anywhere.
+
+    Deadlocks under *every* statement ordering (ERM302): each worker's
+    forward path must cross an unmarked feedback place.
+    """
+    return (
+        SystemBuilder("deadring")
+        .source("src", latency=1)
+        .process("w0", latency=2)
+        .process("w1", latency=2)
+        .sink("snk", latency=1)
+        .channel("i", "src", "w0", latency=1)
+        .channel("fwd", "w0", "w1", latency=1)
+        .channel("back", "w1", "w0", latency=1, initial_tokens=0)
+        .channel("o", "w1", "snk", latency=1)
+        .build()
+    )

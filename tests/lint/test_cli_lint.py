@@ -1,0 +1,120 @@
+"""The ``ermes lint`` subcommand, end to end through ``main()``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    motivating_deadlock_ordering,
+    motivating_example,
+    motivating_optimal_ordering,
+    motivating_suboptimal_ordering,
+    save_ordering,
+    save_system,
+)
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    system = motivating_example()
+    system_path = tmp_path / "sys.json"
+    save_system(system, system_path)
+    out = {"system": str(system_path)}
+    for label, ordering in (
+        ("dead", motivating_deadlock_ordering(system)),
+        ("slow", motivating_suboptimal_ordering(system)),
+        ("best", motivating_optimal_ordering(system)),
+    ):
+        path = tmp_path / f"{label}.json"
+        save_ordering(ordering, path)
+        out[label] = str(path)
+    return out
+
+
+class TestExitCodes:
+    def test_clean_design_exits_zero(self, paths, capsys):
+        code = main(["lint", paths["system"], "--ordering", paths["best"],
+                     "--ignore", "ERM4"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_finding_exits_one(self, paths, capsys):
+        code = main(["lint", paths["system"], "--ordering", paths["dead"]])
+        assert code == 1
+        assert "ERM201" in capsys.readouterr().out
+
+    def test_warning_passes_unless_fail_on_warning(self, paths, capsys):
+        args = ["lint", paths["system"], "--ordering", paths["slow"],
+                "--ignore", "ERM4"]
+        assert main(args) == 0
+        assert main(args + ["--fail-on", "warning"]) == 1
+        assert "ERM301" in capsys.readouterr().out
+
+    def test_unknown_selector_exits_two(self, paths, capsys):
+        assert main(["lint", paths["system"], "--select", "ERM9"]) == 2
+        assert "matches no registered rule" in capsys.readouterr().err
+
+
+class TestSelection:
+    def test_select_restricts_rules(self, paths, capsys):
+        main(["lint", paths["system"], "--ordering", paths["slow"],
+              "--select", "ERM3", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert {d["rule"] for d in doc["diagnostics"]} == {"ERM301"}
+
+
+class TestFormats:
+    def test_json(self, paths, capsys):
+        main(["lint", paths["system"], "--ordering", paths["dead"],
+              "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["errors"] == 1
+
+    def test_sarif(self, paths, capsys):
+        main(["lint", paths["system"], "--ordering", paths["dead"],
+              "--format", "sarif"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+
+class TestFix:
+    def test_fix_heals_the_deadlock(self, paths, tmp_path, capsys):
+        """Acceptance: lint --fix then check reports deadlock-free."""
+        fixed = str(tmp_path / "fixed.json")
+        code = main(["lint", paths["system"], "--ordering", paths["dead"],
+                     "--fix", "-o", fixed])
+        out = capsys.readouterr().out
+        assert "applied 1 fix(es) [ERM201]" in out
+        assert "ERM201" not in out.split("\n", 1)[1]  # post-fix re-lint
+        assert code == 0  # no errors remain
+        assert main(["check", paths["system"], "--ordering", fixed]) == 0
+        assert "deadlock-free" in capsys.readouterr().out
+
+    def test_fix_defaults_to_the_ordering_file(self, paths, capsys):
+        assert main(["lint", paths["system"], "--ordering", paths["slow"],
+                     "--fix"]) == 0
+        assert main(["check", paths["system"],
+                     "--ordering", paths["slow"]]) == 0
+        # The rewritten file now carries the Algorithm-1 ordering.
+        out = capsys.readouterr().out
+        assert "deadlock-free" in out
+
+    def test_fix_without_destination_exits_two(self, paths, capsys):
+        assert main(["lint", paths["system"], "--fix"]) == 2
+        assert "--fix needs" in capsys.readouterr().err
+
+    def test_nothing_to_fix(self, paths, capsys):
+        assert main(["lint", paths["system"], "--ordering", paths["best"],
+                     "--fix"]) == 0
+        assert "nothing to fix" in capsys.readouterr().out
+
+
+class TestCheckWitness:
+    def test_check_prints_statement_positions(self, paths, capsys):
+        assert main(["check", paths["system"],
+                     "--ordering", paths["dead"]]) == 1
+        out = capsys.readouterr().out
+        assert "DEADLOCK" in out
+        assert "[statement" in out  # the decoded blocked statements

@@ -1,0 +1,126 @@
+"""ERM301 / ERM303 performance lints and ERM4xx hygiene infos."""
+
+from fractions import Fraction
+
+from repro.core import ChannelOrdering, SystemBuilder
+from repro.hls import Implementation, ImplementationLibrary, ParetoSet
+from repro.lint import Severity, apply_fixes, lint_system
+from repro.model import analyze_system
+from repro.ordering import channel_ordering, declaration_ordering
+
+
+class TestERM301:
+    def test_fires_on_suboptimal_ordering(self, motivating,
+                                          suboptimal_ordering):
+        result = lint_system(motivating, suboptimal_ordering)
+        [diag] = [d for d in result if d.rule == "ERM301"]
+        assert diag.severity is Severity.WARNING
+        assert diag.fixable
+
+    def test_delta_matches_analyze_system_exactly(self, motivating,
+                                                  suboptimal_ordering):
+        """The reported delta is Fraction-exact and bit-identical to the
+        analyses of the two orderings (acceptance criterion)."""
+        [diag] = [d for d in lint_system(motivating, suboptimal_ordering)
+                  if d.rule == "ERM301"]
+        current = analyze_system(motivating, suboptimal_ordering,
+                                 exact=True).cycle_time
+        best_ordering = channel_ordering(
+            motivating, initial_ordering=suboptimal_ordering
+        )
+        best = analyze_system(motivating, best_ordering,
+                              exact=True).cycle_time
+        delta = current - best
+        assert isinstance(delta, Fraction) and delta > 0
+        # The paper's numbers: 20 (hand-fixed) vs 12 (Algorithm 1).
+        assert (current, best) == (Fraction(20), Fraction(12))
+        assert f"cycle time {current} vs {best}" in diag.message
+        assert f"delta {delta}" in diag.message
+
+    def test_fix_reaches_the_optimized_cycle_time(self, motivating,
+                                                  suboptimal_ordering):
+        result = lint_system(motivating, suboptimal_ordering)
+        outcome = apply_fixes(motivating, suboptimal_ordering,
+                              result.diagnostics)
+        assert outcome.changed
+        fixed = analyze_system(motivating, outcome.ordering,
+                               exact=True).cycle_time
+        assert fixed == Fraction(12)
+        # Re-linting the fixed design reports no ERM301.
+        assert "ERM301" not in lint_system(motivating,
+                                           outcome.ordering).codes()
+
+    def test_silent_on_optimal_ordering(self, motivating, optimal_ordering):
+        assert "ERM301" not in lint_system(motivating,
+                                           optimal_ordering).codes()
+
+    def test_silent_on_deadlocking_ordering(self, motivating,
+                                            deadlock_ordering):
+        # A dead design has no cycle time to compare; ERM201 owns it.
+        assert "ERM301" not in lint_system(motivating,
+                                           deadlock_ordering).codes()
+
+
+class TestERM303:
+    def _library(self, with_dominated: bool) -> ImplementationLibrary:
+        points = [
+            Implementation("fast", latency=2, area=100.0),
+            Implementation("small", latency=8, area=20.0),
+        ]
+        if with_dominated:
+            # Slower *and* larger than "fast": never selectable.
+            points.append(Implementation("bad", latency=4, area=150.0))
+        return ImplementationLibrary([
+            ParetoSet(process="P2", points=tuple(points)),
+        ])
+
+    def test_fires_on_dominated_entry(self, motivating, optimal_ordering):
+        result = lint_system(motivating, optimal_ordering,
+                             library=self._library(with_dominated=True))
+        [diag] = [d for d in result if d.rule == "ERM303"]
+        assert diag.location == ("P2", "bad")
+        assert "dominated by 'fast'" in diag.message
+
+    def test_silent_on_frontier_library(self, motivating, optimal_ordering):
+        result = lint_system(motivating, optimal_ordering,
+                             library=self._library(with_dominated=False))
+        assert "ERM303" not in result.codes()
+
+    def test_silent_without_library(self, motivating, optimal_ordering):
+        assert "ERM303" not in lint_system(motivating,
+                                           optimal_ordering).codes()
+
+
+class TestHygiene:
+    def test_erm401_flags_default_latency_workers(self):
+        system = (
+            SystemBuilder("hyg")
+            .source("src", latency=2)
+            .process("A")  # default latency: uncharacterized
+            .process("B", latency=5)
+            .sink("snk", latency=2)
+            .channel("i", "src", "A", latency=1)
+            .channel("x", "A", "B", latency=1)
+            .channel("o", "B", "snk", latency=1)
+            .build()
+        )
+        result = lint_system(system, declaration_ordering(system))
+        findings = [d for d in result if d.rule == "ERM401"]
+        assert [d.location for d in findings] == [("A",)]
+        assert all(d.severity is Severity.INFO for d in findings)
+
+    def test_erm402_flags_unreferenced_channels(self, motivating):
+        ordering = ChannelOrdering(
+            gets={"P6": ("g", "d", "e")}, puts={"P2": ("b", "d", "f")}
+        )
+        result = lint_system(motivating, ordering)
+        flagged = {d.location[0] for d in result if d.rule == "ERM402"}
+        # Channels only ever touched by the processes missing from the
+        # partial ordering are unreferenced.
+        assert "a" in flagged
+        assert "d" not in flagged  # appears in both entries above
+
+    def test_erm402_silent_on_complete_ordering(self, motivating,
+                                                optimal_ordering):
+        assert "ERM402" not in lint_system(motivating,
+                                           optimal_ordering).codes()

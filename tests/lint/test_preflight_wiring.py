@@ -1,0 +1,54 @@
+"""The structural pre-flight is wired into simulation, DSE, and sweeps."""
+
+import pytest
+
+from repro.diagnostics import LintError
+from repro.dse import Explorer, SystemConfiguration
+from repro.dse.sweep import sweep_targets
+from repro.errors import ValidationError
+from repro.hls import Implementation, ImplementationLibrary, ParetoSet
+from repro.ordering import declaration_ordering
+from repro.sim import Simulator
+
+
+def _config(system):
+    library = ImplementationLibrary([
+        ParetoSet.from_points(w.name, [Implementation("only", 2, 1.0)])
+        for w in system.workers()
+    ])
+    selection = {w.name: "only" for w in system.workers()}
+    return SystemConfiguration(system, library, selection,
+                               declaration_ordering(system))
+
+
+class TestSimulator:
+    def test_rejects_token_free_loop_with_codes(self, token_free_ring):
+        with pytest.raises(LintError) as excinfo:
+            Simulator(token_free_ring)
+        assert excinfo.value.rule_codes == ("ERM302",)
+
+    def test_still_raises_validation_error_for_old_callers(
+        self, token_free_ring
+    ):
+        with pytest.raises(ValidationError):
+            Simulator(token_free_ring)
+
+    def test_accepts_live_design(self, feedback_system):
+        Simulator(feedback_system)
+
+
+class TestExplorer:
+    def test_run_rejects_token_free_loop(self, token_free_ring):
+        with pytest.raises(LintError) as excinfo:
+            Explorer(target_cycle_time=100).run(_config(token_free_ring))
+        assert "ERM302" in excinfo.value.rule_codes
+
+    def test_sweep_rejects_token_free_loop(self, token_free_ring):
+        with pytest.raises(LintError):
+            sweep_targets(_config(token_free_ring), targets=[100, 50])
+
+    def test_run_accepts_live_design(self, feedback_system):
+        result = Explorer(target_cycle_time=1000).run(
+            _config(feedback_system)
+        )
+        assert result.final is not None

@@ -1,0 +1,99 @@
+"""ERM1xx structural rules, via both the linter and validation core."""
+
+import pytest
+
+from repro.core import ChannelOrdering, SystemBuilder
+from repro.core.validation import (
+    ordering_diagnostics,
+    structural_diagnostics,
+    validate_system,
+)
+from repro.errors import ValidationError
+from repro.lint import Severity, lint_system
+
+
+def broken_system():
+    """One system violating several invariants at once.
+
+    * the source feeds nothing and `a` feeds the source (ERM102);
+    * `b` is fully disconnected (ERM104, ERM105, ERM106);
+    * nothing reaches the sink (ERM107).
+    """
+    return (
+        SystemBuilder("broken")
+        .source("s", latency=1)
+        .process("a", latency=1)
+        .process("b", latency=1)
+        .sink("k", latency=1)
+        .channel("c1", "s", "a", latency=1)
+        .channel("c2", "a", "s", latency=1)
+        .build(validate=False)
+    )
+
+
+class TestCollectAll:
+    def test_all_violations_reported_at_once(self):
+        codes = {d.rule for d in structural_diagnostics(broken_system())}
+        assert codes == {"ERM102", "ERM104", "ERM105", "ERM106", "ERM107"}
+
+    def test_all_structural_findings_are_errors(self):
+        for d in structural_diagnostics(broken_system()):
+            assert d.severity is Severity.ERROR
+
+    def test_clean_system_has_no_findings(self, motivating):
+        assert structural_diagnostics(motivating) == []
+
+    def test_no_workers(self):
+        system = (
+            SystemBuilder("empty").source("s").sink("k")
+            .channel("c", "s", "k").build(validate=False)
+        )
+        codes = {d.rule for d in structural_diagnostics(system)}
+        assert "ERM101" in codes
+
+
+class TestValidateSystemWrapper:
+    def test_raises_first_error_message(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_system(broken_system())
+        first = structural_diagnostics(broken_system())[0]
+        assert str(excinfo.value) == first.message
+
+    def test_clean_system_passes(self, motivating):
+        validate_system(motivating)
+
+
+class TestOrderingDiagnostics:
+    def test_non_permutation_flagged_per_process(self, motivating):
+        ordering = ChannelOrdering(
+            gets={"P6": ("g",)},  # P6 really gets g, d, e
+            puts={},
+        )
+        findings = ordering_diagnostics(motivating, ordering)
+        assert all(d.rule == "ERM108" for d in findings)
+        assert any(d.location == ("P6",) and "permutation" in d.message
+                   for d in findings)
+
+    def test_unknown_process_flagged(self, motivating):
+        ordering = ChannelOrdering(gets={"ghost": ("a",)}, puts={})
+        findings = ordering_diagnostics(motivating, ordering)
+        assert any("unknown process 'ghost'" in d.message for d in findings)
+
+    def test_valid_ordering_clean(self, motivating, optimal_ordering):
+        assert ordering_diagnostics(motivating, optimal_ordering) == []
+
+
+class TestLintIntegration:
+    def test_lint_reports_erm1_on_broken_system(self):
+        result = lint_system(broken_system())
+        assert {"ERM102", "ERM104", "ERM105", "ERM106", "ERM107"} <= set(
+            result.codes()
+        )
+        # Downstream rules must not crash (or fire) on unsound structure.
+        assert not any(c.startswith("ERM2") or c == "ERM301"
+                       for c in result.codes())
+
+    def test_lint_reports_erm108_for_foreign_ordering(self, motivating):
+        ordering = ChannelOrdering(gets={"ghost": ("a",)}, puts={})
+        result = lint_system(motivating, ordering)
+        assert "ERM108" in result.codes()
