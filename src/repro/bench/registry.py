@@ -110,6 +110,13 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "to the uncached path",
         bench="test_bench_analysis_cache.py",
     ),
+    Experiment(
+        id="OBS",
+        artifact="extension: observability layer",
+        claim="tracing/metrics off by default cost < 15% simulator "
+        "overhead, results bit-identical with and without sinks",
+        bench="test_bench_obs_overhead.py",
+    ),
 )
 
 

@@ -12,6 +12,8 @@ Examples::
     ermes order design.json -o ord.json
     ermes check design.json --ordering ord.json
     ermes simulate design.json --iterations 200
+    ermes trace design.json --format perfetto -o trace.json
+    ermes profile design.json --json   # instrumented DSE run
     ermes mpeg2 --experiment m1        # Section 6 experiments
     ermes scalability --sizes 100,1000,10000
 """
@@ -168,6 +170,156 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        MemorySink,
+        event_to_dict,
+        render_chrome_trace,
+        to_vcd,
+    )
+    from repro.sim import Simulator
+    from repro.sim.trace import format_trace
+
+    system = load_system(args.system)
+    ordering = _load_ordering_arg(system, args.ordering)
+    sink = MemorySink()
+    simulator = Simulator(system, ordering, sinks=[sink])
+    result = simulator.run(iterations=args.iterations)
+    events = sink.events()
+
+    if args.format == "perfetto":
+        text = render_chrome_trace(events, system, name=system.name) + "\n"
+        hint = "open it at https://ui.perfetto.dev"
+    elif args.format == "vcd":
+        text = to_vcd(events, system, name=system.name)
+        hint = "open it in GTKWave or any VCD viewer"
+    elif args.format == "jsonl":
+        text = "".join(
+            json.dumps(event_to_dict(e), separators=(",", ":")) + "\n"
+            for e in events
+        )
+        hint = "one JSON object per line (schema: docs/OBSERVABILITY.md)"
+    else:
+        text = format_trace(events, limit=args.limit)
+        hint = ""
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        total_stalls = sum(result.stall_cycles.values())
+        print(f"{len(events)} events ({total_stalls} stall cycles) "
+              f"written to {args.output}")
+        if hint:
+            print(hint)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.dse import Explorer, SystemConfiguration
+    from repro.hls import ImplementationLibrary, synthesize_pareto_set
+    from repro.lint import preflight
+    from repro.obs import (
+        DseProfiler,
+        MetricsRegistry,
+        format_convergence,
+        format_metrics,
+    )
+    from repro.perf import PerformanceEngine
+    from repro.sim import simulate
+
+    system = load_system(args.system)
+    ordering = _load_ordering_arg(system, args.ordering)
+    registry = MetricsRegistry()
+    profiler = DseProfiler(metrics=registry)
+    perf_engine = PerformanceEngine()
+
+    with registry.timer("profile.preflight"):
+        preflight(system, ordering)
+    with registry.timer("profile.order"):
+        optimized = channel_ordering(
+            system, initial_ordering=ordering, metrics=registry
+        )
+    with registry.timer("profile.analyze"):
+        performance = analyze_system(
+            system, optimized, perf_engine=perf_engine
+        )
+
+    # A synthetic-but-deterministic Pareto library (the pre-characterized
+    # HLS input of Fig. 5) lets `ermes profile` exercise the full DSE loop
+    # on any plain design JSON.
+    library = ImplementationLibrary(
+        synthesize_pareto_set(
+            p.name,
+            base_latency=max(p.latency, 1),
+            base_area=3.0 * max(p.latency, 1),
+            seed=args.seed,
+            max_points=args.max_points,
+        )
+        for p in system.workers()
+    )
+    config = SystemConfiguration.initial(
+        system, library, ordering=optimized, pick="smallest"
+    )
+    initial_ct = analyze_system(
+        system,
+        optimized,
+        process_latencies=config.process_latencies(),
+        perf_engine=perf_engine,
+    ).cycle_time
+    target = args.target if args.target else 0.75 * float(initial_ct)
+
+    with registry.timer("profile.dse"):
+        result = Explorer(
+            target_cycle_time=target,
+            max_iterations=args.max_iterations,
+            perf_engine=perf_engine,
+            profiler=profiler,
+        ).run(config)
+
+    if not args.no_simulate:
+        with registry.timer("profile.simulate"):
+            simulate(
+                system,
+                optimized,
+                iterations=args.iterations,
+                metrics=registry,
+            )
+
+    final = result.final_record
+    if args.json:
+        payload = {
+            "system": system.name,
+            "cycle_time": float(performance.cycle_time),
+            "target_cycle_time": float(target),
+            "achieved_cycle_time": float(final.cycle_time),
+            "area": final.area,
+            "feasible": final.meets_target,
+            "iterations": profiler.as_dicts(),
+            "metrics": registry.snapshot(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"system:   {system.name}  "
+          f"({len(system.workers())} processes, "
+          f"{len(system.channels)} channels)")
+    print(f"analyzed cycle time: {performance.cycle_time}")
+    print(f"DSE target {float(target):.1f}: achieved "
+          f"{float(final.cycle_time):.1f}, area {final.area:.1f}, "
+          f"{'feasible' if final.meets_target else 'infeasible'}")
+    print()
+    print("convergence (one row per DSE iteration):")
+    print(format_convergence(profiler.snapshots))
+    print(format_metrics(registry), end="")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     system = motivating_example()
     print(f"motivating example: {len(system.workers())} processes, "
@@ -264,6 +416,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         system,
         ordering,
         include_sensitivity=not args.no_sensitivity,
+        include_stalls=not args.no_stalls,
     )
     if args.output:
         with open(args.output, "w") as handle:
@@ -451,6 +604,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=100)
     p.set_defaults(func=_cmd_simulate)
 
+    p = sub.add_parser(
+        "trace",
+        help="simulate and export an execution trace "
+             "(Perfetto / VCD / JSONL; see docs/OBSERVABILITY.md)",
+    )
+    p.add_argument("system")
+    p.add_argument("--ordering")
+    p.add_argument("--iterations", type=int, default=100)
+    p.add_argument("--format", default="perfetto",
+                   choices=["perfetto", "vcd", "jsonl", "text"],
+                   help="perfetto = Chrome trace-event JSON for "
+                        "ui.perfetto.dev; vcd = waveform for GTKWave; "
+                        "jsonl = one event per line; text = human-readable")
+    p.add_argument("--limit", type=int, default=100,
+                   help="max events shown by --format text")
+    p.add_argument("-o", "--output", help="write the trace to this file")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="run the instrumented flow (ordering, analysis, DSE, "
+             "simulation) and print a profile",
+    )
+    p.add_argument("system")
+    p.add_argument("--ordering")
+    p.add_argument("--target", type=float, default=None,
+                   help="DSE target cycle time (default: 75%% of the "
+                        "initial configuration's cycle time)")
+    p.add_argument("--max-iterations", type=int, default=16,
+                   help="DSE iteration cap")
+    p.add_argument("--iterations", type=int, default=100,
+                   help="simulation length for the profile.simulate phase")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed of the synthetic Pareto library")
+    p.add_argument("--max-points", type=int, default=5,
+                   help="Pareto points per process in the synthetic library")
+    p.add_argument("--no-simulate", action="store_true",
+                   help="skip the simulation phase")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output: metrics snapshot plus "
+                        "one record per DSE iteration")
+    p.set_defaults(func=_cmd_profile)
+
     p = sub.add_parser("demo", help="the paper's motivating example")
     p.set_defaults(func=_cmd_demo)
 
@@ -469,6 +665,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ordering")
     p.add_argument("--no-sensitivity", action="store_true",
                    help="skip the bottleneck table (faster on huge systems)")
+    p.add_argument("--no-stalls", action="store_true",
+                   help="skip the simulated stall-attribution table")
     p.add_argument("-o", "--output")
     p.set_defaults(func=_cmd_report)
 

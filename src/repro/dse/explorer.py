@@ -19,9 +19,10 @@ trajectory is recorded so the Fig. 6 exploration plots can be regenerated.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Union
+from typing import TYPE_CHECKING, ContextManager, Union
 
 from repro.core.system import ChannelOrdering
 from repro.dse.config import SystemConfiguration
@@ -36,6 +37,9 @@ from repro.model.performance import SystemPerformance, analyze_system
 from repro.ordering.algorithm import channel_ordering
 from repro.perf.cache import LruCache
 from repro.perf.engine import PerformanceEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import DseProfiler
 
 Number = Union[Fraction, float]
 
@@ -121,6 +125,12 @@ class Explorer:
             the per-iteration analyses.  Defaults to a fresh engine per
             Explorer; pass a shared one to keep its caches warm across
             runs (see :func:`repro.dse.sweep.sweep_targets`).
+        profiler: Optional :class:`repro.obs.DseProfiler`; when attached,
+            every iteration leaves an
+            :class:`~repro.obs.profile.IterationSnapshot` behind and the
+            loop's phases report wall time / counters into the profiler's
+            metrics registry under the stable ``dse.*`` names
+            (``docs/OBSERVABILITY.md``).  No cost when ``None``.
     """
 
     def __init__(
@@ -131,6 +141,7 @@ class Explorer:
         timing_area_budget: float | None = None,
         engine_exact: bool = True,
         perf_engine: PerformanceEngine | None = None,
+        profiler: "DseProfiler | None" = None,
     ):
         self.target_cycle_time = target_cycle_time
         self.max_iterations = max_iterations
@@ -138,6 +149,7 @@ class Explorer:
         self.timing_area_budget = timing_area_budget
         self.engine_exact = engine_exact
         self.perf_engine = perf_engine or PerformanceEngine()
+        self.profiler = profiler
         # Memoized Algorithm 1 results: sweeps revisit configurations, and
         # orderings are immutable values safe to share.
         self._ordering_cache = LruCache(maxsize=256)
@@ -155,6 +167,14 @@ class Explorer:
         from repro.lint import preflight
 
         preflight(config.system, config.ordering)
+        profiler = self.profiler
+        metrics = profiler.metrics if profiler is not None else None
+        if profiler is not None:
+            profiler.begin_run(self.perf_engine)
+
+        def timed(name: str) -> ContextManager[object]:
+            return metrics.timer(name) if metrics is not None else nullcontext()
+
         result = ExplorationResult(target_cycle_time=self.target_cycle_time)
         visited: set[tuple[tuple[str, str], ...]] = {config.selection_key()}
         # Computed once, deliberately: the caps depend only on the target
@@ -177,12 +197,16 @@ class Explorer:
             if incumbent is None or key[:2] < incumbent[:2]:
                 incumbent = (key[0], key[1], record.iteration, cfg)
 
-        performance = self._analyze(config)
+        with timed("dse.analyze"):
+            performance = self._analyze(config)
         start_record = self._record(0, "start", config, performance, (), ())
         result.history.append(start_record)
         consider(start_record, config)
+        if profiler is not None:
+            profiler.iteration(start_record, self.perf_engine)
 
         for iteration in range(1, self.max_iterations + 1):
+            iteration_nodes = 0
             slack = self.target_cycle_time - performance.cycle_time
             critical = performance.critical_processes
 
@@ -201,10 +225,17 @@ class Explorer:
                 action = "timing_optimization"
 
             try:
-                solution = branch_bound.solve(problem)
+                with timed("dse.ilp"):
+                    solution = branch_bound.solve(problem)
             except InfeasibleError:
+                if metrics is not None:
+                    metrics.counter("dse.ilp.infeasible").add(1)
                 result.stop_reason = f"{action} infeasible"
                 break
+            iteration_nodes += solution.nodes
+            if metrics is not None:
+                metrics.counter("dse.ilp.solves").add(1)
+                metrics.counter("dse.ilp.nodes").add(solution.nodes)
 
             changes = self._diff(config, solution.selection)
             candidate = config.with_selection(changes)
@@ -219,10 +250,17 @@ class Explorer:
                     full = dict(key)
                     problem.forbid({name: full[name] for name in group_names})
                 try:
-                    solution = branch_bound.solve(problem)
+                    with timed("dse.ilp"):
+                        solution = branch_bound.solve(problem)
                 except InfeasibleError:
+                    if metrics is not None:
+                        metrics.counter("dse.ilp.infeasible").add(1)
                     result.stop_reason = "all candidate configurations visited"
                     break
+                iteration_nodes += solution.nodes
+                if metrics is not None:
+                    metrics.counter("dse.ilp.solves").add(1)
+                    metrics.counter("dse.ilp.nodes").add(solution.nodes)
                 changes = self._diff(config, solution.selection)
                 candidate = config.with_selection(changes)
                 if changes and candidate.selection_key() in visited:
@@ -231,21 +269,33 @@ class Explorer:
 
             reordered: tuple[str, ...] = ()
             if self.reorder:
-                new_ordering = self._reorder(candidate)
+                with timed("dse.reorder"):
+                    new_ordering = self._reorder(candidate)
                 reordered = new_ordering.differs_from(candidate.ordering)
+                if metrics is not None:
+                    metrics.counter("dse.reorder.runs").add(1)
+                    metrics.counter("dse.reorder.changed_processes").add(
+                        len(reordered)
+                    )
                 if reordered:
                     candidate = candidate.with_ordering(new_ordering)
 
             if not changes and not reordered:
-                result.history.append(
-                    self._record(iteration, "none", config, performance, (), ())
+                none_record = self._record(
+                    iteration, "none", config, performance, (), ()
                 )
+                result.history.append(none_record)
+                if profiler is not None:
+                    profiler.iteration(
+                        none_record, self.perf_engine, iteration_nodes
+                    )
                 result.stop_reason = "converged (no applicable changes)"
                 break
 
             visited.add(candidate.selection_key())
             config = candidate
-            performance = self._analyze(config)
+            with timed("dse.analyze"):
+                performance = self._analyze(config)
             record = self._record(
                 iteration,
                 action,
@@ -256,6 +306,8 @@ class Explorer:
             )
             result.history.append(record)
             consider(record, config)
+            if profiler is not None:
+                profiler.iteration(record, self.perf_engine, iteration_nodes)
         else:
             result.stop_reason = "iteration limit reached"
 
@@ -271,6 +323,11 @@ class Explorer:
             result.final = config
             result.final_index = len(result.history) - 1
         result.cache_stats = self.perf_engine.stats_dict()
+        if profiler is not None:
+            profiler.end_run(result, self.perf_engine)
+            profiler.metrics.merge_cache_stats(
+                {"ordering": self._ordering_cache.stats.as_dict()}
+            )
         return result
 
     # ------------------------------------------------------------------

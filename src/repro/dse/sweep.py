@@ -46,6 +46,12 @@ def sweep_targets(
     All targets share one :class:`~repro.perf.PerformanceEngine` (unless
     ``explorer_kwargs`` provides one): neighbouring targets revisit many of
     the same configurations, so the warm cache serves them directly.
+
+    Pass ``profiler=DseProfiler()`` (see :mod:`repro.obs.profile`) to
+    collect per-iteration snapshots across the whole sweep: the profiler
+    is shared by every per-target Explorer, its ``sweep.*`` counters and
+    timers cover the sweep loop itself, and ``snapshot.iteration`` resets
+    per target while the snapshot list keeps accumulating.
     """
     from repro.lint import preflight
 
@@ -53,12 +59,20 @@ def sweep_targets(
     # re-checks, but failing here reports the codes before any ILP work.
     preflight(config.system, config.ordering)
     explorer_kwargs.setdefault("perf_engine", PerformanceEngine())
+    profiler = explorer_kwargs.get("profiler")
     points: list[SweepPoint] = []
     current = config
     for target in sorted(targets, reverse=True):
-        result = Explorer(target_cycle_time=target, **explorer_kwargs).run(
-            current
-        )
+        if profiler is not None:
+            profiler.metrics.counter("sweep.targets").add(1)
+            with profiler.metrics.timer("sweep.explore"):
+                result = Explorer(
+                    target_cycle_time=target, **explorer_kwargs
+                ).run(current)
+        else:
+            result = Explorer(target_cycle_time=target, **explorer_kwargs).run(
+                current
+            )
         record = result.final_record
         points.append(
             SweepPoint(

@@ -304,6 +304,7 @@ def solve(problem: MultiChoiceProblem, node_limit: int = 5_000_000) -> Solution:
     return Solution(
         selection=full_selection,
         objective=sign * (state.best_value + presolved_value),
+        nodes=state.nodes,
     )
 
 

@@ -85,10 +85,15 @@ class SideConstraint:
 
 @dataclass(frozen=True)
 class Solution:
-    """An assignment of one choice per group."""
+    """An assignment of one choice per group.
+
+    ``nodes`` reports search effort (branch-and-bound nodes explored);
+    backends without a node notion leave it 0.
+    """
 
     selection: Mapping[str, str]  # group name -> choice name
     objective: float
+    nodes: int = 0
 
     def choice_of(self, group: str) -> str:
         return self.selection[group]

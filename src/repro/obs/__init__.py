@@ -1,0 +1,67 @@
+"""Observability: structured tracing, metrics, and DSE profiling.
+
+The paper's whole argument is that *communication behaviour* — blocking
+``put``/``get`` stalls, backpressure, critical cycles — determines system
+performance; this package makes that behaviour observable instead of
+summarized:
+
+* **Tracing** — :mod:`repro.obs.sinks` provides the pluggable sink API
+  the simulator streams :class:`~repro.sim.trace.TraceEvent` records
+  into (in-memory, JSONL streaming, bounded ring buffer), and
+  :mod:`repro.obs.perfetto` / :mod:`repro.obs.vcd` export collected
+  traces to Chrome trace-event JSON (Perfetto) and VCD waveforms.
+* **Metrics** — :mod:`repro.obs.metrics` is the counter/timer/histogram
+  registry threaded through the simulator, the DSE explorer, the
+  analysis cache, the ILP solver, and Algorithm 1; metric names are a
+  documented contract (``docs/OBSERVABILITY.md``).
+* **Profiling** — :mod:`repro.obs.profile` snapshots every DSE iteration
+  (action, cost, cache behaviour, ILP effort) so a run replays as a
+  convergence timeline; backs ``ermes profile``.
+
+Everything here is pay-for-what-you-use: with no sink attached and no
+registry passed, the instrumented code paths cost one predicate check
+(guarded by ``benchmarks/test_bench_obs_overhead.py``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    format_metrics,
+)
+from repro.obs.perfetto import render_chrome_trace, to_chrome_trace
+from repro.obs.profile import (
+    DseProfiler,
+    IterationSnapshot,
+    format_convergence,
+    stall_attribution,
+)
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    RingBufferSink,
+    event_to_dict,
+)
+from repro.obs.vcd import to_vcd
+
+__all__ = [
+    "Counter",
+    "DseProfiler",
+    "Histogram",
+    "IterationSnapshot",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "RingBufferSink",
+    "Timer",
+    "event_to_dict",
+    "format_convergence",
+    "format_metrics",
+    "render_chrome_trace",
+    "stall_attribution",
+    "to_chrome_trace",
+    "to_vcd",
+]

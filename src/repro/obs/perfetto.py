@@ -1,0 +1,168 @@
+"""Chrome trace-event export: open simulator traces in Perfetto.
+
+Converts a stream of :class:`~repro.sim.trace.TraceEvent` into the Chrome
+trace-event JSON format (the ``traceEvents`` array form), which
+https://ui.perfetto.dev and ``chrome://tracing`` load directly:
+
+* one **thread track per process** (all under one "pid") carrying
+  ``compute`` slices, ``stall:<channel>`` slices (duration = the cycles
+  the process waited on that channel, annotated with whom it was waiting
+  on), and ``put``/``get`` instants;
+* one **counter track per channel** (under a second "pid") sampling the
+  channel's token occupancy at every transfer boundary.
+
+One simulated cycle is exported as one trace-clock microsecond (the
+format's native unit); read absolute numbers on the timeline as cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from repro.core.system import SystemGraph
+from repro.sim.trace import TraceEvent
+
+#: The synthetic "pid" hosting one thread track per process.
+PROCESS_PID = 1
+#: The synthetic "pid" hosting one counter track per channel.
+CHANNEL_PID = 2
+
+
+def _channel_peers(
+    system: SystemGraph | None,
+) -> Mapping[str, tuple[str, str]]:
+    if system is None:
+        return {}
+    return {c.name: (c.producer, c.consumer) for c in system.channels}
+
+
+def _initial_tokens(system: SystemGraph | None) -> Mapping[str, int]:
+    if system is None:
+        return {}
+    return {c.name: c.initial_tokens for c in system.channels}
+
+
+def to_chrome_trace(
+    events: Iterable[TraceEvent],
+    system: SystemGraph | None = None,
+    name: str = "ermes",
+) -> dict[str, object]:
+    """Build the Chrome trace-event JSON document (as a dict).
+
+    Args:
+        events: Simulator events (any order; sorted internally).
+        system: Optional topology; when given, stall slices carry the peer
+            process each wait was on, and channel occupancy counters are
+            seeded with the channels' ``initial_tokens``.
+        name: Trace/process name shown in the viewer.
+
+    Returns:
+        A JSON-serializable dict with the ``traceEvents`` array; dump it
+        with :func:`render_chrome_trace` or ``json.dump``.
+    """
+    ordered = sorted(events, key=lambda e: (e.time, _KIND_ORDER.get(e.kind, 9),
+                                            e.process))
+    peers = _channel_peers(system)
+
+    process_names: list[str] = []
+    seen = set()
+    if system is not None:
+        process_names.extend(system.process_names)
+        seen.update(process_names)
+    for event in ordered:
+        if event.process not in seen:
+            seen.add(event.process)
+            process_names.append(event.process)
+    tids = {proc: tid for tid, proc in enumerate(process_names, start=1)}
+
+    trace: list[dict[str, object]] = [
+        _meta("process_name", PROCESS_PID, 0, {"name": f"{name}: processes"}),
+        _meta("process_sort_index", PROCESS_PID, 0, {"sort_index": 0}),
+        _meta("process_name", CHANNEL_PID, 0, {"name": f"{name}: channels"}),
+        _meta("process_sort_index", CHANNEL_PID, 0, {"sort_index": 1}),
+    ]
+    for proc, tid in tids.items():
+        trace.append(_meta("thread_name", PROCESS_PID, tid, {"name": proc}))
+        trace.append(
+            _meta("thread_sort_index", PROCESS_PID, tid, {"sort_index": tid})
+        )
+
+    occupancy: dict[str, int] = dict(_initial_tokens(system))
+    for event in ordered:
+        tid = tids[event.process]
+        args: dict[str, object] = {"iteration": event.iteration}
+        if event.channel is not None:
+            args["channel"] = event.channel
+        if event.kind == "compute":
+            trace.append({
+                "name": "compute", "cat": "compute", "ph": "X",
+                "ts": event.time - event.duration, "dur": event.duration,
+                "pid": PROCESS_PID, "tid": tid, "args": args,
+            })
+            continue
+        channel = event.channel or ""
+        if event.kind in ("put", "get"):
+            if event.wait > 0:
+                stall_args = dict(args)
+                producer, consumer = peers.get(channel, (None, None))
+                waiting_on = (
+                    consumer if event.kind == "put" else producer
+                )
+                if waiting_on is not None:
+                    stall_args["waiting_on"] = waiting_on
+                trace.append({
+                    "name": f"stall:{channel}", "cat": "stall", "ph": "X",
+                    "ts": event.time - event.wait, "dur": event.wait,
+                    "pid": PROCESS_PID, "tid": tid, "args": stall_args,
+                })
+            trace.append({
+                "name": f"{event.kind} {channel}", "cat": "transfer",
+                "ph": "i", "s": "t", "ts": event.time,
+                "pid": PROCESS_PID, "tid": tid, "args": args,
+            })
+            tokens = occupancy.get(channel, 0)
+            tokens = tokens + 1 if event.kind == "put" else max(0, tokens - 1)
+            occupancy[channel] = tokens
+            trace.append({
+                "name": f"occ:{channel}", "cat": "channel", "ph": "C",
+                "ts": event.time, "pid": CHANNEL_PID,
+                "args": {"tokens": tokens},
+            })
+        else:  # block-put / block-get: the arrival that did not complete
+            trace.append({
+                "name": f"{event.kind} {channel}", "cat": "block",
+                "ph": "i", "s": "t", "ts": event.time,
+                "pid": PROCESS_PID, "tid": tid, "args": args,
+            })
+
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "tool": "ermes trace",
+            "clock": "1 simulated cycle = 1 trace microsecond",
+            "trace_name": name,
+        },
+    }
+
+
+def render_chrome_trace(
+    events: Iterable[TraceEvent],
+    system: SystemGraph | None = None,
+    name: str = "ermes",
+) -> str:
+    """:func:`to_chrome_trace` serialized to a JSON string."""
+    return json.dumps(to_chrome_trace(events, system=system, name=name),
+                      indent=1)
+
+
+#: Puts sort before gets at equal timestamps so occupancy counters never
+#: dip below zero through a same-cycle rendezvous.
+_KIND_ORDER = {"compute": 0, "put": 1, "get": 2, "block-put": 3,
+               "block-get": 4}
+
+
+def _meta(name: str, pid: int, tid: int,
+          args: dict[str, object]) -> dict[str, object]:
+    return {"name": name, "ph": "M", "pid": pid, "tid": tid, "args": args}

@@ -1,0 +1,129 @@
+"""Trace sinks: where a stream of simulator events goes.
+
+A *sink* is any object with ``emit(event)`` / ``close()`` (the
+:class:`repro.sim.trace.TraceSink` protocol).  The simulator calls
+``emit`` once per event, in emission order; ``close`` flushes and releases
+whatever the sink holds.  Stock sinks:
+
+* :class:`MemorySink` — keep everything (the exporters' input).
+* :class:`RingBufferSink` — keep the *last* ``capacity`` events (flight
+  recorder for long runs: bounded memory, crash forensics).
+* :class:`JsonlSink` — stream each event as one JSON line to a file
+  object or path (the ``jsonl`` format of ``ermes trace``).
+* :class:`NullSink` — accept and discard (overhead testing).
+
+All sinks are synchronous and single-threaded, like the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Deque
+
+from repro.sim.trace import TraceEvent
+
+#: The JSONL field order is part of the documented schema
+#: (docs/OBSERVABILITY.md); keep it stable.
+_FIELDS = ("time", "kind", "process", "channel", "iteration", "duration",
+           "wait")
+
+
+def event_to_dict(event: TraceEvent) -> dict[str, object]:
+    """The documented JSON shape of one event (stable key set)."""
+    return {name: getattr(event, name) for name in _FIELDS}
+
+
+class MemorySink:
+    """Collects every event in memory.
+
+    ``events()`` returns them time-sorted (ties broken by process name),
+    the order every exporter expects.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(sorted(self._events, key=lambda e: (e.time, e.process)))
+
+
+class RingBufferSink:
+    """Keeps only the most recent ``capacity`` events (a flight recorder).
+
+    Memory stays bounded no matter how long the run; ``dropped`` counts
+    the events that scrolled out.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be >= 1")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buffer: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    def emit(self, event: TraceEvent) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(sorted(self._buffer, key=lambda e: (e.time, e.process)))
+
+
+class JsonlSink:
+    """Streams one JSON object per event to ``stream`` (or a new file at
+    ``path``) as the simulation runs — nothing buffered beyond the line
+    being written, so arbitrarily long runs stream in constant memory.
+    """
+
+    def __init__(self, stream: IO[str] | None = None,
+                 path: str | None = None):
+        if (stream is None) == (path is None):
+            raise ValueError("pass exactly one of stream= or path=")
+        self._owns_stream = path is not None
+        self._stream: IO[str] = (
+            open(path, "w", encoding="utf-8") if path is not None
+            else stream  # type: ignore[assignment]
+        )
+        self.count = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        json.dump(event_to_dict(event), self._stream, separators=(",", ":"))
+        self._stream.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+class NullSink:
+    """Accepts and discards every event.
+
+    Exists so the zero-overhead contract is testable: simulation results
+    must be bit-identical with a :class:`NullSink` attached and with no
+    sink at all (``tests/obs/test_zero_overhead.py``).
+    """
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass

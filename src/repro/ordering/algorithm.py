@@ -18,6 +18,7 @@ produce, in ``O(|E| log |E|)``, a statement order for every process:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.system import ChannelOrdering, SystemGraph
 from repro.ordering.labeling import (
@@ -27,6 +28,9 @@ from repro.ordering.labeling import (
 )
 from repro.perf.cache import MISS, LruCache
 from repro.perf.fingerprint import system_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -41,6 +45,7 @@ def channel_ordering(
     system: SystemGraph,
     initial_ordering: ChannelOrdering | None = None,
     cache: LruCache | None = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> ChannelOrdering:
     """Compute the optimized channel ordering of a system (Algorithm 1).
 
@@ -57,20 +62,37 @@ def channel_ordering(
             Algorithm 1 is deterministic, so a revisited configuration —
             common in ERMES sweeps, which warm-start from earlier targets
             — returns its (immutable) ordering without re-labeling.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; records the
+            stable ``ordering.*`` counters/timers (runs, cache hits and
+            misses, processes whose statement order changed — the
+            algorithm's "swaps") documented in ``docs/OBSERVABILITY.md``.
 
     Raises:
         DeadlockError: The system contains a dependency cycle with no
             pre-loaded data; no ordering can make it live.
     """
-    if cache is None:
-        return channel_ordering_with_labels(system, initial_ordering).ordering
+    if metrics is not None:
+        metrics.counter("ordering.runs").add(1)
     initial = initial_ordering or ChannelOrdering.declaration_order(system)
-    key = "order:" + system_fingerprint(system, initial)
-    cached = cache.get(key)
-    if cached is not MISS:
-        return cached
-    ordering = channel_ordering_with_labels(system, initial).ordering
-    cache.put(key, ordering)
+    if cache is not None:
+        key = "order:" + system_fingerprint(system, initial)
+        cached = cache.get(key)
+        if cached is not MISS:
+            if metrics is not None:
+                metrics.counter("ordering.cache_hits").add(1)
+            return cached
+    if metrics is None:
+        ordering = channel_ordering_with_labels(system, initial).ordering
+    else:
+        if cache is not None:
+            metrics.counter("ordering.cache_misses").add(1)
+        with metrics.timer("ordering.label"):
+            ordering = channel_ordering_with_labels(system, initial).ordering
+        metrics.counter("ordering.changed_processes").add(
+            len(ordering.differs_from(initial))
+        )
+    if cache is not None:
+        cache.put(key, ordering)
     return ordering
 
 

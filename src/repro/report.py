@@ -33,6 +33,9 @@ def design_report(
     process_latencies: Mapping[str, int] | None = None,
     include_sensitivity: bool = True,
     sensitivity_limit: int = 10,
+    include_stalls: bool = True,
+    stall_iterations: int = 64,
+    stall_limit: int = 10,
 ) -> str:
     """Produce the markdown report for one design configuration.
 
@@ -45,6 +48,11 @@ def design_report(
             ``O(P log)`` analyses; disable for very large systems).
         sensitivity_limit: Show at most this many processes in the
             sensitivity table (most impactful first).
+        include_stalls: Add the simulated stall-attribution table — which
+            process stalls on which channel, waiting on whom (costs one
+            ``stall_iterations``-iteration simulation).
+        stall_iterations: Simulation length for the stall table.
+        stall_limit: Show at most this many stall rows (worst first).
     """
     if ordering is None:
         ordering = ChannelOrdering.declaration_order(system)
@@ -157,5 +165,52 @@ def design_report(
             rows,
         ))
         out.write("\n")
+
+    # -------------------------------------------------------------- stalls
+    if include_stalls:
+        from repro.obs.profile import stall_attribution
+        from repro.sim import simulate
+
+        out.write("## Stall attribution (simulated)\n\n")
+        sim_ordering = optimized if optimized is not None else ordering
+        try:
+            sim_result = simulate(
+                system,
+                sim_ordering,
+                iterations=stall_iterations,
+                process_latencies=process_latencies,
+            )
+        except DeadlockError as error:
+            out.write("Simulation deadlocked: " + str(error) + "\n\n")
+        else:
+            peers = {
+                c.name: (c.producer, c.consumer) for c in system.channels
+            }
+            attribution = stall_attribution(
+                sim_result.stall_breakdown, peers, limit=stall_limit
+            )
+            if not attribution:
+                out.write(
+                    f"No stalls in {stall_iterations} simulated "
+                    "iterations — every process is compute-bound.\n\n"
+                )
+            else:
+                total = sum(sim_result.stall_cycles.values()) or 1
+                out.write(
+                    f"Simulated {stall_iterations} iterations under the "
+                    + ("optimized" if optimized is not None else "given")
+                    + " ordering; worst blocked (process, channel) "
+                    "pairs first.\n\n"
+                )
+                out.write(_markdown_table(
+                    ["process", "stalled on", "waiting on", "cycles",
+                     "share of all stalls"],
+                    [
+                        [process, channel, peer, str(cycles),
+                         f"{cycles / total:.1%}"]
+                        for process, channel, peer, cycles in attribution
+                    ],
+                ))
+                out.write("\n")
 
     return out.getvalue()

@@ -15,7 +15,7 @@ from repro.sim.metrics import (
     utilizations,
 )
 from repro.sim.process import Behavior, ProcessState, StallStats, token_behavior
-from repro.sim.trace import TraceEvent, TraceRecorder, format_trace
+from repro.sim.trace import TraceEvent, TraceRecorder, TraceSink, format_trace
 
 __all__ = [
     "Behavior",
@@ -28,6 +28,7 @@ __all__ = [
     "StallStats",
     "TraceEvent",
     "TraceRecorder",
+    "TraceSink",
     "agreement_error",
     "format_trace",
     "simulate",

@@ -21,13 +21,16 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.core.system import ChannelOrdering, SystemGraph
 from repro.errors import SimulationDeadlock, SimulationError
 from repro.sim.channel import ChannelState
 from repro.sim.process import Behavior, ProcessState
-from repro.sim.trace import TraceEvent, TraceRecorder
+from repro.sim.trace import TraceEvent, TraceRecorder, TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -42,6 +45,9 @@ class SimulationResult:
     channel_transfers: dict[str, int]
     sink_payloads: dict[str, list[Any]] = field(default_factory=dict)
     trace: tuple[TraceEvent, ...] = ()
+    #: Per-process, per-channel stall cycles: which channel each process
+    #: spent its waiting time on (``stall_cycles`` is the row sum).
+    stall_breakdown: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def measured_cycle_time(self, process: str) -> Fraction | None:
         """Average steady-state iteration period of ``process``.
@@ -73,6 +79,12 @@ class Simulator:
         initial_payloads: Optional pre-loaded payloads per channel name
             (for channels with ``initial_tokens``).
         record_trace: Keep a full event trace (memory-heavy; debugging).
+        sinks: Streaming trace sinks (see :mod:`repro.obs.sinks`); each
+            receives every :class:`~repro.sim.trace.TraceEvent` as it is
+            emitted.  Attaching sinks never changes simulation results.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; end-of-run
+            aggregates are recorded under the ``sim.*`` metric names
+            (see ``docs/OBSERVABILITY.md``).  No hot-path cost.
     """
 
     def __init__(
@@ -83,6 +95,8 @@ class Simulator:
         process_latencies: Mapping[str, int] | None = None,
         initial_payloads: Mapping[str, tuple[Any, ...]] | None = None,
         record_trace: bool = False,
+        sinks: Sequence[TraceSink] = (),
+        metrics: "MetricsRegistry | None" = None,
     ):
         from repro.lint import preflight
 
@@ -111,7 +125,8 @@ class Simulator:
             if behavior is not None:
                 state.behavior = behavior
             self._processes[p.name] = state
-        self._trace = TraceRecorder(enabled=record_trace)
+        self._trace = TraceRecorder(enabled=record_trace, sinks=sinks)
+        self._metrics = metrics
         self._sink_payloads: dict[str, list[Any]] = {
             p.name: [] for p in system.sinks()
         }
@@ -163,7 +178,10 @@ class Simulator:
                 # The process stopped at an iteration boundary, not on a
                 # channel: keep it runnable (round-robin fairness).
                 runnable.append(name)
-        return self._collect()
+        result = self._collect()
+        if self._metrics is not None:
+            self._record_metrics(result, steps)
+        return result
 
     # ------------------------------------------------------------------
 
@@ -191,7 +209,8 @@ class Simulator:
                 state.run_behavior()
                 state.time += state.latency
                 state.compute_cycles += state.latency
-                self._trace.record(state.time, "compute", name, None, state.iteration)
+                self._trace.record(state.time, "compute", name, None,
+                                   state.iteration, duration=state.latency)
                 state.advance_statement()
                 continue
             channel = self._channels[target]
@@ -219,13 +238,11 @@ class Simulator:
         consumer = self.system.channel(channel_name).consumer
         # Transfer started at outcome.time - latency; anything between the
         # producer's arrival and that start was spent waiting.
-        state.stall(
-            channel_name,
-            max(0, outcome.time - state.time - channel.channel.latency),
-        )
+        waited = max(0, outcome.time - state.time - channel.channel.latency)
+        state.stall(channel_name, waited)
         state.time = outcome.time
         self._trace.record(state.time, "put", state.name, channel_name,
-                           state.iteration)
+                           state.iteration, wait=waited)
         state.advance_statement()
         if channel.buffered:
             # The item is now queued; a consumer blocked on this channel
@@ -238,14 +255,14 @@ class Simulator:
     def _complete_get(self, state, channel_name, outcome, runnable) -> None:
         channel = self._channels[channel_name]
         producer = self.system.channel(channel_name).producer
-        state.stall(channel_name, max(0, outcome.time - state.time
-                                      - (0 if channel.buffered
-                                         else channel.channel.latency)))
+        waited = max(0, outcome.time - state.time
+                     - (0 if channel.buffered else channel.channel.latency))
+        state.stall(channel_name, waited)
         state.time = outcome.time
         state.inputs[channel_name] = outcome.payload
         self._record_sink_payload(state, channel_name, outcome.payload)
         self._trace.record(state.time, "get", state.name, channel_name,
-                           state.iteration)
+                           state.iteration, wait=waited)
         state.advance_statement()
         if channel.buffered:
             # A credit was released; a producer blocked on it may proceed.
@@ -266,7 +283,8 @@ class Simulator:
         peer.inputs[channel_name] = outcome.payload
         self._record_sink_payload(peer, channel_name, outcome.payload)
         peer.blocked_on = None
-        self._trace.record(peer.time, "get", consumer, channel_name, peer.iteration)
+        self._trace.record(peer.time, "get", consumer, channel_name,
+                           peer.iteration, wait=outcome.peer_wait)
         peer.advance_statement()
         runnable.append(consumer)
 
@@ -280,7 +298,8 @@ class Simulator:
         peer.stall(channel_name, outcome.peer_wait)
         peer.time = outcome.time
         peer.blocked_on = None
-        self._trace.record(peer.time, "put", producer, channel_name, peer.iteration)
+        self._trace.record(peer.time, "put", producer, channel_name,
+                           peer.iteration, wait=outcome.peer_wait)
         peer.advance_statement()
         runnable.append(producer)
 
@@ -299,7 +318,8 @@ class Simulator:
         peer.stall(channel_name, outcome.peer_wait)
         peer.time = outcome.time
         peer.blocked_on = None
-        self._trace.record(peer.time, "put", producer, channel_name, peer.iteration)
+        self._trace.record(peer.time, "put", producer, channel_name,
+                           peer.iteration, wait=outcome.peer_wait)
         peer.advance_statement()
         runnable.append(producer)
         # The item just queued may satisfy a blocked get in turn.
@@ -322,7 +342,8 @@ class Simulator:
         peer.inputs[channel_name] = outcome.payload
         self._record_sink_payload(peer, channel_name, outcome.payload)
         peer.blocked_on = None
-        self._trace.record(peer.time, "get", consumer, channel_name, peer.iteration)
+        self._trace.record(peer.time, "get", consumer, channel_name,
+                           peer.iteration, wait=outcome.peer_wait)
         peer.advance_statement()
         runnable.append(consumer)
         # A credit was released by that get: maybe another put can proceed.
@@ -370,6 +391,32 @@ class Simulator:
             },
             sink_payloads={k: list(v) for k, v in self._sink_payloads.items()},
             trace=self._trace.events(),
+            stall_breakdown={
+                n: row
+                for n, s in self._processes.items()
+                if (row := {
+                    ch: st.cycles
+                    for ch, st in s.stalls.items()
+                    if st.cycles
+                })
+            },
+        )
+
+    def _record_metrics(self, result: SimulationResult, steps: int) -> None:
+        """End-of-run aggregates under the stable ``sim.*`` metric names."""
+        metrics = self._metrics
+        assert metrics is not None
+        metrics.counter("sim.runs").add(1)
+        metrics.counter("sim.steps").add(steps)
+        metrics.counter("sim.iterations").add(sum(result.iterations.values()))
+        metrics.counter("sim.transfers").add(
+            sum(result.channel_transfers.values())
+        )
+        metrics.counter("sim.compute_cycles").add(
+            sum(result.compute_cycles.values())
+        )
+        metrics.counter("sim.stall_cycles").add(
+            sum(result.stall_cycles.values())
         )
 
 

@@ -14,7 +14,17 @@ from repro.sim.engine import SimulationResult
 
 @dataclass(frozen=True)
 class ProcessUtilization:
-    """Cycle budget breakdown of one process over the measured run."""
+    """Cycle budget breakdown of one process over the measured run.
+
+    Time base: all simulator timestamps live on one shared virtual clock
+    starting at cycle 0 (see :mod:`repro.sim.trace`), so ``final_time`` —
+    the time of this process's *own* last completed statement — is the
+    length of the process's active window on that clock.  Processes stop
+    at different points (a source runs ahead of the watched sink), so
+    ``final_time`` legitimately differs per process; dividing each
+    process's cycle counts by its own ``final_time`` keeps the fractions
+    comparable without assuming a common end-of-run instant.
+    """
 
     process: str
     compute_cycles: int
@@ -23,7 +33,7 @@ class ProcessUtilization:
 
     @property
     def utilization(self) -> float:
-        """Fraction of elapsed local time spent computing."""
+        """Fraction of the process's active window spent computing."""
         if self.final_time == 0:
             return 0.0
         return self.compute_cycles / self.final_time

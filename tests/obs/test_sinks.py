@@ -1,0 +1,96 @@
+"""Trace sinks: memory, bounded ring, streaming JSONL, null."""
+
+import io
+import json
+
+from repro.core import pipeline
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    RingBufferSink,
+    event_to_dict,
+)
+from repro.sim import Simulator
+from repro.sim.trace import TraceEvent
+
+
+def _event(time=3, kind="put", process="A", channel="x"):
+    return TraceEvent(time=time, kind=kind, process=process, channel=channel,
+                      iteration=1, duration=0, wait=2)
+
+
+class TestEventToDict:
+    def test_stable_field_set(self):
+        record = event_to_dict(_event())
+        assert sorted(record) == [
+            "channel", "duration", "iteration", "kind", "process",
+            "time", "wait",
+        ]
+
+    def test_values(self):
+        record = event_to_dict(_event())
+        assert record["time"] == 3
+        assert record["kind"] == "put"
+        assert record["wait"] == 2
+
+
+class TestMemorySink:
+    def test_collects_and_sorts(self):
+        sink = MemorySink()
+        sink.emit(_event(time=9))
+        sink.emit(_event(time=1))
+        assert [e.time for e in sink.events()] == [1, 9]
+
+    def test_from_simulation(self):
+        sink = MemorySink()
+        Simulator(pipeline(2), sinks=[sink]).run(iterations=5)
+        events = sink.events()
+        assert events
+        assert {e.kind for e in events} >= {"compute", "put", "get"}
+
+
+class TestRingBufferSink:
+    def test_keeps_last_n(self):
+        sink = RingBufferSink(capacity=3)
+        for t in range(10):
+            sink.emit(_event(time=t))
+        assert [e.time for e in sink.events()] == [7, 8, 9]
+        assert sink.dropped == 7
+
+    def test_no_drop_under_capacity(self):
+        sink = RingBufferSink(capacity=100)
+        sink.emit(_event())
+        assert sink.dropped == 0
+        assert len(sink.events()) == 1
+
+
+class TestJsonlSink:
+    def test_streams_one_line_per_event(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream=stream)
+        sink.emit(_event(time=1))
+        sink.emit(_event(time=2, kind="get"))
+        sink.close()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert sink.count == 2
+        first = json.loads(lines[0])
+        assert first == event_to_dict(_event(time=1))
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path=str(path))
+        Simulator(pipeline(2), sinks=[sink]).run(iterations=4)
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == sink.count
+        for line in lines:
+            json.loads(line)  # every line is valid JSON
+
+
+class TestNullSink:
+    def test_accepts_everything(self):
+        sink = NullSink()
+        sink.emit(_event())
+        sink.close()

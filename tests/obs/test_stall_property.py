@@ -1,0 +1,72 @@
+"""Property: traces and aggregate metrics agree on stalls.
+
+The stall attribution carried by trace events (``wait`` on completed
+``put``/``get`` events) is the *decomposition* of the per-process
+``stall_cycles`` aggregate — summing one must reproduce the other
+exactly, on any system.  Same for the per-channel ``stall_breakdown``.
+"""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+
+from repro.core import motivating_example
+from repro.obs import MemorySink
+from repro.ordering import channel_ordering
+from repro.sim import Simulator
+from tests.strategies import layered_systems
+
+
+def _run_traced(system, iterations=20):
+    # Algorithm 1 guarantees a live ordering; declaration order can
+    # deadlock on generated systems with feedback channels.
+    ordering = channel_ordering(system)
+    sink = MemorySink()
+    result = Simulator(system, ordering, sinks=[sink]).run(
+        iterations=iterations
+    )
+    return result, sink.events()
+
+
+def _stalls_from_trace(events):
+    per_process: dict[str, int] = defaultdict(int)
+    per_pair: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    for event in events:
+        if event.wait:
+            per_process[event.process] += event.wait
+            per_pair[event.process][event.channel] += event.wait
+    return per_process, per_pair
+
+
+@given(system=layered_systems())
+@settings(max_examples=30, deadline=None)
+def test_trace_stalls_equal_result_stalls(system):
+    result, events = _run_traced(system)
+    per_process, per_pair = _stalls_from_trace(events)
+    for name in system.process_names:
+        assert per_process.get(name, 0) == result.stall_cycles[name]
+    expected = {
+        process: dict(channels)
+        for process, channels in per_pair.items()
+        if channels
+    }
+    assert expected == result.stall_breakdown
+
+
+@given(system=layered_systems())
+@settings(max_examples=30, deadline=None)
+def test_trace_compute_equals_result_compute(system):
+    result, events = _run_traced(system)
+    per_process: dict[str, int] = defaultdict(int)
+    for event in events:
+        if event.kind == "compute":
+            per_process[event.process] += event.duration
+    for name in system.process_names:
+        assert per_process.get(name, 0) == result.compute_cycles[name]
+
+
+def test_breakdown_row_sums_match_stall_cycles():
+    system = motivating_example()
+    result = Simulator(system).run(iterations=50)
+    for process, cycles in result.stall_cycles.items():
+        assert sum(result.stall_breakdown.get(process, {}).values()) == cycles

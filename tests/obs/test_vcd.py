@@ -1,0 +1,81 @@
+"""VCD waveform export: structure, monotonicity, value round-trip."""
+
+import re
+
+from repro.core import SystemBuilder, motivating_example, pipeline
+from repro.obs import MemorySink, to_vcd
+from repro.sim import Simulator
+
+
+def _vcd(system, iterations=20):
+    sink = MemorySink()
+    Simulator(system, sinks=[sink]).run(iterations=iterations)
+    return to_vcd(sink.events(), system)
+
+
+class TestVcdStructure:
+    def test_header_sections(self):
+        text = _vcd(pipeline(2))
+        assert "$timescale 1 ns $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+
+    def test_one_scope_per_process(self):
+        system = pipeline(2)
+        text = _vcd(system)
+        for name in system.process_names:
+            assert f"$scope module {name} $end" in text
+
+    def test_signals_declared_per_process_and_channel(self):
+        system = pipeline(2)
+        text = _vcd(system)
+        assert text.count(" compute $end") == len(system.process_names)
+        assert text.count(" stalled $end") == len(system.process_names)
+        for channel in system.channels:
+            assert f"{channel.name}_occupancy $end" in text
+            assert f"{channel.name}_full $end" in text
+            assert f"{channel.name}_empty $end" in text
+
+    def test_identifier_codes_unique(self):
+        text = _vcd(motivating_example())
+        codes = re.findall(r"^\$var wire \d+ (\S+) ", text, re.MULTILINE)
+        assert len(codes) == len(set(codes))
+
+
+class TestVcdValues:
+    def test_timestamps_strictly_increasing(self):
+        text = _vcd(motivating_example())
+        times = [int(line[1:]) for line in text.splitlines()
+                 if line.startswith("#")]
+        assert times
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_occupancy_never_negative(self):
+        text = _vcd(motivating_example())
+        for match in re.finditer(r"^b([01]+) \S+$", text, re.MULTILINE):
+            assert int(match.group(1), 2) >= 0
+
+    def test_preloaded_channel_starts_nonempty(self):
+        system = (
+            SystemBuilder("fb")
+            .source("src", latency=1)
+            .process("A", latency=2)
+            .sink("snk", latency=1)
+            .channel("i", "src", "A", latency=1)
+            .channel("o", "A", "snk", latency=1, initial_tokens=1)
+            .build()
+        )
+        text = _vcd(system, iterations=6)
+        dumpvars = text.split("$dumpvars")[1].split("$end")[0]
+        occ_code = re.search(r"\$var wire \d+ (\S+) o_occupancy", text).group(1)
+        assert f"b1 {occ_code}" in dumpvars
+
+    def test_stall_signal_present_when_stalling(self):
+        system = motivating_example()
+        sink = MemorySink()
+        result = Simulator(system, sinks=[sink]).run(iterations=20)
+        assert sum(result.stall_cycles.values()) > 0
+        text = to_vcd(sink.events(), system)
+        stalled_codes = re.findall(r"\$var wire 1 (\S+) stalled", text)
+        body = text.split("$enddefinitions $end")[1]
+        assert any(f"1{code}" in body for code in stalled_codes)
