@@ -111,6 +111,14 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         bench="test_bench_analysis_cache.py",
     ),
     Experiment(
+        id="VERIFY",
+        artifact="extension: exhaustive deadlock verification",
+        claim="stubborn-set POR >= 5x fewer states than naive on a "
+        "6-stage buffered pipeline; explorer-scale systems verify "
+        "in < 1 s",
+        bench="test_bench_verify.py",
+    ),
+    Experiment(
         id="OBS",
         artifact="extension: observability layer",
         claim="tracing/metrics off by default cost < 15% simulator "

@@ -11,6 +11,7 @@ Examples::
     ermes analyze design.json          # cycle time + critical cycle
     ermes order design.json -o ord.json
     ermes check design.json --ordering ord.json
+    ermes verify design.json --budget-states 200000
     ermes simulate design.json --iterations 200
     ermes trace design.json --format perfetto -o trace.json
     ermes profile design.json --json   # instrumented DSE run
@@ -103,6 +104,64 @@ def _cmd_check(args: argparse.Namespace) -> int:
     print("run `ermes lint` for the full diagnosis, or `ermes order` "
           "for a live ordering")
     return 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import MetricsRegistry
+    from repro.verify import Verdict, check_deadlock
+
+    system = load_system(args.system)
+    ordering = _load_ordering_arg(system, args.ordering)
+    metrics = MetricsRegistry()
+    result = check_deadlock(
+        system,
+        ordering,
+        por=not args.no_por,
+        budget_states=args.budget_states,
+        budget_seconds=args.budget_seconds,
+        metrics=metrics,
+    )
+
+    if args.format == "json":
+        payload: dict[str, object] = {
+            "system": system.name,
+            "verdict": result.verdict.value,
+            "reason": result.reason,
+            "states_explored": result.states_explored,
+            "transitions_fired": result.transitions_fired,
+            "por": result.por,
+            "por_pruned": result.por_pruned,
+            "state_space_bound": result.state_space_bound,
+            "elapsed_s": result.elapsed_s,
+            "budget_states": result.budget_states,
+            "budget_seconds": result.budget_seconds,
+        }
+        if result.witness is not None:
+            witness: dict[str, object] = {
+                "blocked": [list(pair) for pair in result.witness.blocked],
+                "cycle": list(result.witness.cycle),
+            }
+            if args.trace:
+                witness["schedule"] = [
+                    action.format() for action in result.witness.schedule
+                ]
+            payload["witness"] = witness
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"system: {system.name}")
+        print(result.format())
+        if args.trace and result.witness is not None:
+            print("full schedule:")
+            for step, action in enumerate(result.witness.schedule):
+                print(f"  {step + 1:>4}. {action.format()}")
+
+    if result.verdict is Verdict.DEADLOCKED:
+        return 1
+    if result.verdict is Verdict.INCONCLUSIVE:
+        return 3
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -570,6 +629,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("system")
     p.add_argument("--ordering")
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "verify",
+        help="exhaustive deadlock verification (explicit-state model "
+             "checking with partial-order reduction; see "
+             "docs/VERIFICATION.md)",
+    )
+    p.add_argument("system")
+    p.add_argument("--ordering", help="ordering JSON file to verify")
+    p.add_argument("--budget-states", type=int,
+                   default=1_000_000, dest="budget_states",
+                   help="max states to explore before the verdict becomes "
+                        "INCONCLUSIVE (exit code 3, never a silent pass)")
+    p.add_argument("--budget-seconds", type=float, default=None,
+                   dest="budget_seconds",
+                   help="wall-clock cap with the same contract")
+    p.add_argument("--trace", action="store_true",
+                   help="print the full witness schedule, one step per line")
+    p.add_argument("--no-por", action="store_true", dest="no_por",
+                   help="disable the stubborn-set reduction (explore the "
+                        "full interleaving)")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
         "lint",

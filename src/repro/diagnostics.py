@@ -120,9 +120,15 @@ class Diagnostic:
         where = f" [{', '.join(self.location)}]" if self.location else ""
         return f"{self.rule} {self.severity.value}{where}: {self.message}"
 
-    def sort_key(self) -> tuple[int, str, tuple[str, ...]]:
-        """Most severe first, then by rule code, then by location."""
-        return (-self.severity.rank, self.rule, self.location)
+    def sort_key(self) -> tuple[int, str, tuple[str, ...], str]:
+        """Most severe first, then by rule code, location, and message.
+
+        The message is the final tiebreak so two findings of the same
+        rule at the same location never compare equal: the sort is a
+        *total* order and every rendering of the same findings is
+        byte-identical, run to run and machine to machine.
+        """
+        return (-self.severity.rank, self.rule, self.location, self.message)
 
 
 class LintError(ValidationError):
@@ -160,7 +166,8 @@ def worst_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
 def sorted_diagnostics(
     diagnostics: Iterable[Diagnostic],
 ) -> tuple[Diagnostic, ...]:
-    """Diagnostics sorted most-severe first, then by rule and location."""
+    """Diagnostics in a total, deterministic order: most-severe first,
+    then by rule, location, and message."""
     return tuple(sorted(diagnostics, key=Diagnostic.sort_key))
 
 

@@ -39,9 +39,24 @@ from repro.perf.cache import LruCache
 from repro.perf.engine import PerformanceEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.profile import DseProfiler
 
 Number = Union[Fraction, float]
+
+#: Hashable identity of a :class:`ChannelOrdering` (which carries plain,
+#: unhashable dicts): per-process get and put sequences, sorted by name.
+OrderingFingerprint = tuple[
+    tuple[tuple[str, tuple[str, ...]], ...],
+    tuple[tuple[str, tuple[str, ...]], ...],
+]
+
+
+def _ordering_fingerprint(ordering: ChannelOrdering) -> OrderingFingerprint:
+    return (
+        tuple(sorted((p, tuple(seq)) for p, seq in ordering.gets.items())),
+        tuple(sorted((p, tuple(seq)) for p, seq in ordering.puts.items())),
+    )
 
 
 @dataclass(frozen=True)
@@ -117,6 +132,14 @@ class Explorer:
         max_iterations: Upper bound on optimization iterations.
         reorder: Rerun Algorithm 1 after each selection change (the paper's
             behaviour).  Disable to ablate the contribution of reordering.
+        verify: Machine-check every ordering Algorithm 1 produces with the
+            explicit-state checker (:func:`repro.verify.verify_ordering`)
+            on small systems (``<= SMALL_SYSTEM_LIMIT`` processes +
+            channels).  A confirmed deadlock raises — Algorithm 1 is
+            proven safe, so a firing is an engine bug, not a design
+            property — while a budget-exhausted check is quietly skipped
+            (the structural guarantee still holds).  On by default; the
+            cost is bounded by a small state/time budget.
         timing_area_budget: Optional area-increase cap per timing step
             (activates the dual formulation with area recovered from
             off-cycle processes).
@@ -138,6 +161,7 @@ class Explorer:
         target_cycle_time: Number,
         max_iterations: int = 16,
         reorder: bool = True,
+        verify: bool = True,
         timing_area_budget: float | None = None,
         engine_exact: bool = True,
         perf_engine: PerformanceEngine | None = None,
@@ -146,6 +170,7 @@ class Explorer:
         self.target_cycle_time = target_cycle_time
         self.max_iterations = max_iterations
         self.reorder = reorder
+        self.verify = verify
         self.timing_area_budget = timing_area_budget
         self.engine_exact = engine_exact
         self.perf_engine = perf_engine or PerformanceEngine()
@@ -177,6 +202,7 @@ class Explorer:
 
         result = ExplorationResult(target_cycle_time=self.target_cycle_time)
         visited: set[tuple[tuple[str, str], ...]] = {config.selection_key()}
+        verified_orderings: set[OrderingFingerprint] = set()
         # Computed once, deliberately: the caps depend only on the target
         # and on each process's channel latencies/bufferings — structural
         # quantities that no exploration step (selection or reordering)
@@ -279,6 +305,13 @@ class Explorer:
                     )
                 if reordered:
                     candidate = candidate.with_ordering(new_ordering)
+                # Even an unchanged result is an ordering Algorithm 1
+                # produced — machine-check each distinct one once per run.
+                fingerprint = _ordering_fingerprint(new_ordering)
+                if fingerprint not in verified_orderings:
+                    verified_orderings.add(fingerprint)
+                    with timed("dse.verify"):
+                        self._verify_ordering(candidate, metrics)
 
             if not changes and not reordered:
                 none_record = self._record(
@@ -348,6 +381,45 @@ class Explorer:
             exact=self.engine_exact,
             perf_engine=self.perf_engine,
         )
+
+    #: Per-reordering verification budget: generous for SMALL_SYSTEM_LIMIT
+    #: state spaces, yet bounding the worst case to a blink per iteration.
+    VERIFY_BUDGET_STATES = 50_000
+    VERIFY_BUDGET_SECONDS = 1.0
+
+    def _verify_ordering(
+        self,
+        config: SystemConfiguration,
+        metrics: "MetricsRegistry | None",
+    ) -> None:
+        """Exhaustively check Algorithm 1's output on small systems.
+
+        A :class:`~repro.errors.DeadlockError` propagates (a verified
+        deadlock in a safe-by-construction ordering is an engine bug); a
+        :class:`~repro.errors.BudgetExceeded` is swallowed — the
+        structural liveness guarantee of Algorithm 1 stands on its own,
+        and a deferred machine-check must not fail the exploration.
+        """
+        if not self.verify:
+            return
+        from repro.errors import BudgetExceeded
+        from repro.verify.checker import is_small_system, verify_ordering
+
+        if not is_small_system(config.system):
+            return
+        if metrics is not None:
+            metrics.counter("dse.verify.runs").add(1)
+        try:
+            verify_ordering(
+                config.system,
+                config.ordering,
+                budget_states=self.VERIFY_BUDGET_STATES,
+                budget_seconds=self.VERIFY_BUDGET_SECONDS,
+                metrics=metrics,
+            )
+        except BudgetExceeded:
+            if metrics is not None:
+                metrics.counter("dse.verify.inconclusive").add(1)
 
     def _reorder(self, config: SystemConfiguration) -> ChannelOrdering:
         system = config.system.with_process_latencies(config.process_latencies())

@@ -57,8 +57,35 @@ class SimulationDeadlock(DeadlockError, SimulationError):
     on a rendezvous and no event is pending.
 
     Carries the wait-for cycle of process names diagnosed at the time of
-    the deadlock, when one exists.
+    the deadlock, when one exists, plus the full blocked configuration
+    (``waiting``: process name -> the channel it is blocked on) so the
+    runtime observation can be compared against the model checker's
+    witness (:mod:`repro.verify`).
     """
+
+    def __init__(
+        self,
+        message: str,
+        cycle: list[str] | None = None,
+        waiting: dict[str, str] | None = None,
+    ):
+        super().__init__(message, cycle=cycle)
+        self.waiting = dict(waiting) if waiting is not None else None
+
+
+class VerificationError(ReproError):
+    """The explicit-state model checker (:mod:`repro.verify`) reached an
+    inconsistent conclusion — e.g. a witness schedule that does not
+    replay.  Always indicates a bug, never a property of the design."""
+
+
+class BudgetExceeded(VerificationError):
+    """A verification run exhausted its state or time budget before
+    reaching a verdict.  Raised by the *strict* entry points
+    (:func:`repro.verify.verify_ordering`); the query form
+    (:func:`repro.verify.check_deadlock`) reports the same outcome as an
+    explicit ``INCONCLUSIVE`` verdict instead.  Budgets defer a verdict —
+    they never silently grant one."""
 
 
 class ConfigurationError(ReproError):

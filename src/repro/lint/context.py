@@ -22,8 +22,17 @@ from repro.perf.engine import PerformanceEngine
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hls.pareto import ImplementationLibrary
     from repro.model.performance import SystemPerformance
+    from repro.verify.checker import VerificationResult
 
 _UNSET = object()
+
+#: Lint-scale exhaustive-verification budget.  Lint runs as a pre-flight
+#: before every exploration and simulation, so the ERM5xx rules get a
+#: deliberately small slice of the checker's default budget; a run that
+#: exhausts it reports INCONCLUSIVE and the rules stay silent rather than
+#: guessing.
+VERIFY_BUDGET_STATES = 20_000
+VERIFY_BUDGET_SECONDS = 1.0
 
 
 class LintContext:
@@ -51,6 +60,7 @@ class LintContext:
         self._witness: object = _UNSET
         self._optimized: object = _UNSET
         self._dead_loops: list[tuple[str, ...]] | None = None
+        self._verification: object = _UNSET
 
     # ------------------------------------------------------------------
     # Structural soundness
@@ -123,6 +133,36 @@ class LintContext:
     def reordering_can_fix_deadlock(self) -> bool:
         """True when the deadlock is ordering-induced (Algorithm 1 helps)."""
         return not self.token_free_topology_loops()
+
+    def verification(self) -> "VerificationResult | None":
+        """Exhaustive deadlock verdict from the model checker, or ``None``.
+
+        Runs :func:`repro.verify.check_deadlock` once, under the small
+        lint-scale budget, and caches the result.  ``None`` when the
+        configuration is not sound or the system is above
+        :data:`repro.verify.SMALL_SYSTEM_LIMIT` — the ERM5xx rules only
+        fire on conclusive verdicts, so a skipped or budget-exhausted run
+        never silently passes *or* fails anything.
+        """
+        if self._verification is _UNSET:
+            if not self.sound():
+                self._verification = None
+            else:
+                from repro.verify.checker import (
+                    check_deadlock,
+                    is_small_system,
+                )
+
+                if not is_small_system(self.system):
+                    self._verification = None
+                else:
+                    self._verification = check_deadlock(
+                        self.system,
+                        self.ordering,
+                        budget_states=VERIFY_BUDGET_STATES,
+                        budget_seconds=VERIFY_BUDGET_SECONDS,
+                    )
+        return self._verification  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Performance facts

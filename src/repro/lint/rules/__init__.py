@@ -7,6 +7,7 @@ from repro.lint.rules.deadlock import register_deadlock
 from repro.lint.rules.hygiene import register_hygiene
 from repro.lint.rules.performance import register_performance
 from repro.lint.rules.structural import register_structural
+from repro.lint.rules.verification import register_verification
 
 
 def register_builtin_rules(registry: RuleRegistry) -> RuleRegistry:
@@ -15,6 +16,7 @@ def register_builtin_rules(registry: RuleRegistry) -> RuleRegistry:
     register_deadlock(registry)
     register_performance(registry)
     register_hygiene(registry)
+    register_verification(registry)
     return registry
 
 
@@ -24,4 +26,5 @@ __all__ = [
     "register_hygiene",
     "register_performance",
     "register_structural",
+    "register_verification",
 ]

@@ -373,6 +373,7 @@ class Simulator:
         raise SimulationDeadlock(
             f"simulation deadlock: all runnable processes are blocked ({detail})",
             cycle=cycle,
+            waiting=waiting,
         )
 
     def _collect(self) -> SimulationResult:

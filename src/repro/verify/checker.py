@@ -1,0 +1,310 @@
+"""The explicit-state reachability engine and its budgeted verdicts.
+
+:func:`check_deadlock` explores the untimed transition system of a
+``(system, ordering)`` pair (see :mod:`repro.verify.semantics`) and
+returns a three-valued :class:`VerificationResult`:
+
+* ``DEADLOCK_FREE`` — the *entire* reachable state space was enumerated
+  and no deadlocked state exists.  This is a proof, not a sample.
+* ``DEADLOCKED`` — a reachable deadlock was found; the result carries a
+  replayable :class:`~repro.verify.witness.DeadlockWitness` (shortest
+  schedule among the explored interleavings, plus the circular wait
+  decoded to blocked statements).
+* ``INCONCLUSIVE`` — a state or time budget ran out first.  Budgets are
+  never a silent pass: the verdict is explicit, carries the reason, and
+  the strict entry point :func:`verify_ordering` raises
+  :class:`~repro.errors.BudgetExceeded` instead of returning.
+
+The search is breadth-first (witnesses come out shortest-first) with
+stubborn-set partial-order reduction on by default
+(:mod:`repro.verify.stubborn`); ``por=False`` selects the naive full
+interleaving — same verdicts, exponentially more states (that gap is the
+benchmark ``benchmarks/test_bench_verify.py`` tracks).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.errors import BudgetExceeded, DeadlockError
+from repro.verify.semantics import Action, State, TransitionSystem
+from repro.verify.stubborn import stubborn_set
+from repro.verify.witness import DeadlockWitness, decode_deadlock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+#: Default cap on explored states — comfortably above every shipped
+#: example while still bounding degenerate blow-ups to well under a
+#: second of work.
+DEFAULT_BUDGET_STATES = 1_000_000
+
+
+class Verdict(enum.Enum):
+    """Three-valued outcome of a verification run."""
+
+    DEADLOCK_FREE = "deadlock-free"
+    DEADLOCKED = "deadlocked"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Everything one :func:`check_deadlock` run established.
+
+    Attributes:
+        verdict: The three-valued outcome.
+        witness: The replayable counterexample (``DEADLOCKED`` only).
+        states_explored: Distinct states expanded.
+        transitions_fired: Successor computations performed.
+        por_pruned: Enabled actions *not* expanded thanks to the
+            stubborn-set reduction (0 when ``por=False``).
+        state_space_bound: The a-priori product bound on the state space.
+        elapsed_s: Wall-clock search time.
+        budget_states / budget_seconds: The limits the run was given.
+        reason: Why the run stopped (always set; for ``INCONCLUSIVE``
+            it names the exhausted budget).
+        por: Whether the reduction was active.
+    """
+
+    verdict: Verdict
+    witness: DeadlockWitness | None
+    states_explored: int
+    transitions_fired: int
+    por_pruned: int
+    state_space_bound: int
+    elapsed_s: float
+    budget_states: int
+    budget_seconds: float | None
+    reason: str
+    por: bool
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.verdict is Verdict.DEADLOCKED
+
+    @property
+    def proven_free(self) -> bool:
+        return self.verdict is Verdict.DEADLOCK_FREE
+
+    @property
+    def conclusive(self) -> bool:
+        return self.verdict is not Verdict.INCONCLUSIVE
+
+    def format(self) -> str:
+        """One-paragraph human rendering (the ``ermes verify`` body)."""
+        lines = [
+            f"verdict: {self.verdict.value} ({self.reason})",
+            f"states explored: {self.states_explored}"
+            f" (bound {self.state_space_bound})",
+            f"transitions fired: {self.transitions_fired}",
+            f"por: {'on' if self.por else 'off'},"
+            f" pruned {self.por_pruned} interleavings",
+            f"elapsed: {self.elapsed_s:.3f}s",
+        ]
+        if self.witness is not None:
+            lines.append("counterexample:")
+            lines.append("  " + self.witness.format().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def check_deadlock(
+    system: SystemGraph,
+    ordering: ChannelOrdering | None = None,
+    *,
+    por: bool = True,
+    budget_states: int = DEFAULT_BUDGET_STATES,
+    budget_seconds: float | None = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> VerificationResult:
+    """Exhaustively decide deadlock reachability, within budget.
+
+    Args:
+        system: The topology under verification.
+        ordering: Statement orders (default: declaration order).
+        por: Stubborn-set partial-order reduction (on by default;
+            ``False`` explores the full interleaving — for benchmarks
+            and for distrust).
+        budget_states: Hard cap on states expanded; exceeding it yields
+            an ``INCONCLUSIVE`` verdict, never a silent pass.
+        budget_seconds: Optional wall-clock cap with the same contract.
+        metrics: Optional registry; the run reports under the stable
+            ``verify.*`` names (``docs/OBSERVABILITY.md``).
+    """
+    if budget_states < 1:
+        raise ValueError("budget_states must be >= 1")
+    ts = TransitionSystem(system, ordering)
+    timer_cm = (
+        metrics.timer("verify.search") if metrics is not None else None
+    )
+    start = time.perf_counter()
+    if timer_cm is not None:
+        timer_cm.__enter__()
+    try:
+        outcome = _search(ts, por, budget_states, budget_seconds, start)
+    finally:
+        if timer_cm is not None:
+            timer_cm.__exit__(None, None, None)
+    if metrics is not None:
+        metrics.counter("verify.runs").add(1)
+        metrics.counter("verify.states.explored").add(outcome.states_explored)
+        metrics.counter("verify.transitions").add(outcome.transitions_fired)
+        metrics.counter("verify.por.pruned").add(outcome.por_pruned)
+        if outcome.deadlocked:
+            metrics.counter("verify.deadlocks").add(1)
+    return outcome
+
+
+def _search(
+    ts: TransitionSystem,
+    por: bool,
+    budget_states: int,
+    budget_seconds: float | None,
+    start: float,
+) -> VerificationResult:
+    initial = ts.initial_state()
+    parents: dict[State, tuple[State, Action] | None] = {initial: None}
+    frontier: deque[State] = deque([initial])
+    explored = 0
+    fired = 0
+    pruned = 0
+
+    def finish(
+        verdict: Verdict, reason: str, witness: DeadlockWitness | None = None
+    ) -> VerificationResult:
+        return VerificationResult(
+            verdict=verdict,
+            witness=witness,
+            states_explored=explored,
+            transitions_fired=fired,
+            por_pruned=pruned,
+            state_space_bound=ts.state_space_bound(),
+            elapsed_s=time.perf_counter() - start,
+            budget_states=budget_states,
+            budget_seconds=budget_seconds,
+            reason=reason,
+            por=por,
+        )
+
+    # Check the time budget only every so many states: a perf_counter
+    # call per state would dominate tiny searches.
+    TIME_CHECK_EVERY = 256
+
+    while frontier:
+        state = frontier.popleft()
+        explored += 1
+        if explored > budget_states:
+            return finish(
+                Verdict.INCONCLUSIVE,
+                f"state budget exceeded ({budget_states} states)",
+            )
+        if (
+            budget_seconds is not None
+            and explored % TIME_CHECK_EVERY == 0
+            and time.perf_counter() - start > budget_seconds
+        ):
+            return finish(
+                Verdict.INCONCLUSIVE,
+                f"time budget exceeded ({budget_seconds}s)",
+            )
+        enabled = ts.enabled_actions(state)
+        if not enabled:
+            if ts.is_deadlock(state):
+                schedule = _schedule_to(parents, state)
+                witness = decode_deadlock(ts, state, schedule)
+                return finish(
+                    Verdict.DEADLOCKED,
+                    f"deadlocked state reachable in {len(schedule)} steps",
+                    witness,
+                )
+            continue  # no communicating process: nothing to do, nothing stuck
+        if por and len(enabled) > 1:
+            expand = stubborn_set(ts, state, enabled)
+            pruned += len(enabled) - len(expand)
+        else:
+            expand = enabled
+        for action in expand:
+            fired += 1
+            successor = ts.successor(state, action)
+            if successor not in parents:
+                parents[successor] = (state, action)
+                frontier.append(successor)
+    return finish(
+        Verdict.DEADLOCK_FREE,
+        f"all {explored} reachable states enumerated, none deadlocked",
+    )
+
+
+def _schedule_to(
+    parents: dict[State, tuple[State, Action] | None], state: State
+) -> tuple[Action, ...]:
+    """Walk the parent pointers back to the initial state."""
+    schedule: list[Action] = []
+    cursor = state
+    while True:
+        entry = parents[cursor]
+        if entry is None:
+            break
+        cursor, action = entry
+        schedule.append(action)
+    schedule.reverse()
+    return tuple(schedule)
+
+
+#: Systems at or below this many processes + channels are "small": the
+#: explorer machine-checks Algorithm 1's output on them after every
+#: reordering (state spaces this size verify in well under a second).
+SMALL_SYSTEM_LIMIT = 48
+
+
+def is_small_system(system: SystemGraph) -> bool:
+    """True when the explorer's post-Algorithm-1 verification applies."""
+    return len(system.processes) + len(system.channels) <= SMALL_SYSTEM_LIMIT
+
+
+def verify_ordering(
+    system: SystemGraph,
+    ordering: ChannelOrdering,
+    *,
+    por: bool = True,
+    budget_states: int = DEFAULT_BUDGET_STATES,
+    budget_seconds: float | None = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> VerificationResult:
+    """Machine-check that ``ordering`` cannot deadlock — strictly.
+
+    The strict form of :func:`check_deadlock` the DSE explorer runs on
+    Algorithm 1's output: a ``DEADLOCKED`` verdict raises
+    :class:`~repro.errors.DeadlockError` carrying the witness cycle, and
+    an ``INCONCLUSIVE`` verdict raises
+    :class:`~repro.errors.BudgetExceeded` — a budget can defer the
+    guarantee, never silently grant it.
+    """
+    result = check_deadlock(
+        system,
+        ordering,
+        por=por,
+        budget_states=budget_states,
+        budget_seconds=budget_seconds,
+        metrics=metrics,
+    )
+    if result.verdict is Verdict.INCONCLUSIVE:
+        raise BudgetExceeded(
+            f"verification of {system.name!r} is inconclusive: "
+            f"{result.reason}; raise the budget to obtain a verdict"
+        )
+    if result.verdict is Verdict.DEADLOCKED:
+        witness = result.witness
+        assert witness is not None
+        raise DeadlockError(
+            f"system {system.name!r} deadlocks under the verified ordering; "
+            f"witness schedule of {len(witness.schedule)} steps: "
+            + witness.format_schedule(),
+            cycle=list(witness.cycle),
+        )
+    return result

@@ -1,0 +1,308 @@
+"""The exact interleaving semantics the model checker explores.
+
+The simulator (:mod:`repro.sim.engine`) is *timed*: it tracks local
+clocks, transfer latencies, and payloads.  For deadlock, none of that
+matters — whether a configuration can reach a state where every process
+is blocked depends only on the *order* of communication statements and on
+channel occupancies, never on how long anything takes.  This module
+therefore projects the simulator's semantics onto its untimed skeleton:
+
+* **State** — for every process, the index of its current communication
+  statement (computation phases are invisible: a compute statement is
+  always enabled, touches no channel, and commutes with everything, so
+  the projection advances through it atomically); for every buffered
+  channel, its occupancy (items currently queued).
+* **Actions** — ``rdv(c)`` completes a rendezvous on channel ``c`` (both
+  endpoint processes advance together — the joint-transition view of the
+  blocking primitives); ``put(c)`` / ``get(c)`` are the two independent
+  endpoint actions of a buffered channel (occupancy +1 / −1).
+
+The state space is finite — ``Π_p |comm chain of p| × Π_c (cap_c + 1)``
+— so plain reachability decides deadlock *exactly*, including for the
+buffered/initial-token extension where the structural TMG argument of
+:mod:`repro.tmg.deadlock` is the thing being cross-checked.
+
+A load-bearing property of this transition system (proved as the
+*diamond property* in ``docs/VERIFICATION.md``): an enabled action can
+never be disabled by another action.  Rendezvous on distinct channels
+never share a ready process (a process's current statement serves one
+channel), and a buffered endpoint action only ever *helps* the opposite
+endpoint.  Persistence is what makes the stubborn-set reduction of
+:mod:`repro.verify.stubborn` so effective here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+from repro.core.system import ChannelOrdering, SystemGraph
+
+#: A verification state: per-process communication-statement indices (in
+#: the order of :attr:`TransitionSystem.process_names`) followed by
+#: per-buffered-channel occupancies (order of
+#: :attr:`TransitionSystem.buffered_names`).
+State = tuple[tuple[int, ...], tuple[int, ...]]
+
+
+class ActionKind(enum.Enum):
+    """The three communication actions of the untimed semantics."""
+
+    RENDEZVOUS = "rdv"
+    PUT = "put"
+    GET = "get"
+
+
+class Action(NamedTuple):
+    """One atomic step: a rendezvous, or one buffered endpoint."""
+
+    kind: ActionKind
+    channel: str
+
+    def format(self) -> str:
+        return f"{self.kind.value}({self.channel})"
+
+
+@dataclass(frozen=True)
+class CommStatement:
+    """One communication statement of a process's projected chain.
+
+    ``chain_index`` is the 0-based position in the *full* statement chain
+    (gets, compute, puts — :meth:`ChannelOrdering.statements_of`), kept so
+    witnesses report the same statement numbering the lint witnesses use.
+    """
+
+    kind: str  # "get" | "put"
+    channel: str
+    chain_index: int
+
+
+class TransitionSystem:
+    """The untimed transition system of one ``(system, ordering)`` pair.
+
+    Processes whose chain has no communication statement (possible only
+    for channel-less degenerate processes) take no part: they can always
+    run, so they never contribute to a deadlock.
+    """
+
+    def __init__(self, system: SystemGraph, ordering: ChannelOrdering | None = None):
+        self.system = system
+        self.ordering = ordering or ChannelOrdering.declaration_order(system)
+        self.ordering.validate(system)
+
+        #: Projected communication chains, only for processes that have one.
+        self.chains: dict[str, tuple[CommStatement, ...]] = {}
+        #: Full-chain lengths (for witness ``index/total`` reporting).
+        self.chain_totals: dict[str, int] = {}
+        for process in system.process_names:
+            full = self.ordering.statements_of(process)
+            comm = tuple(
+                CommStatement(kind=kind, channel=target, chain_index=i)
+                for i, (kind, target) in enumerate(full)
+                if kind in ("get", "put")
+            )
+            if comm:
+                self.chains[process] = comm
+                self.chain_totals[process] = len(full)
+
+        self.process_names: tuple[str, ...] = tuple(self.chains)
+        self._process_slot: dict[str, int] = {
+            name: i for i, name in enumerate(self.process_names)
+        }
+
+        #: Buffered channels carry an occupancy dimension; rendezvous
+        #: channels are pure synchronizations with no state of their own.
+        self.buffered_names: tuple[str, ...] = tuple(
+            c.name for c in system.channels if c.is_buffered
+        )
+        self._buffer_slot: dict[str, int] = {
+            name: i for i, name in enumerate(self.buffered_names)
+        }
+        self._capacity: dict[str, int] = {
+            c.name: c.effective_capacity
+            for c in system.channels
+            if c.is_buffered
+        }
+        self._initial_tokens: tuple[int, ...] = tuple(
+            system.channel(name).initial_tokens for name in self.buffered_names
+        )
+        self._producer: dict[str, str] = {
+            c.name: c.producer for c in system.channels
+        }
+        self._consumer: dict[str, str] = {
+            c.name: c.consumer for c in system.channels
+        }
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> State:
+        """Every process at its first communication statement; buffered
+        channels pre-loaded with their initial tokens."""
+        return (
+            tuple(0 for _ in self.process_names),
+            self._initial_tokens,
+        )
+
+    def statement_at(self, state: State, process: str) -> CommStatement:
+        """The communication statement ``process`` is waiting to execute."""
+        slot = self._process_slot[process]
+        return self.chains[process][state[0][slot]]
+
+    def occupancy(self, state: State, channel: str) -> int:
+        """Items currently queued on a buffered channel."""
+        return state[1][self._buffer_slot[channel]]
+
+    def capacity(self, channel: str) -> int:
+        return self._capacity[channel]
+
+    def is_buffered(self, channel: str) -> bool:
+        return channel in self._buffer_slot
+
+    def endpoints(self, action: Action) -> tuple[str, ...]:
+        """The processes an action moves: both for a rendezvous, the one
+        endpoint for a buffered put/get."""
+        if action.kind is ActionKind.RENDEZVOUS:
+            return (
+                self._producer[action.channel],
+                self._consumer[action.channel],
+            )
+        if action.kind is ActionKind.PUT:
+            return (self._producer[action.channel],)
+        return (self._consumer[action.channel],)
+
+    def current_action(self, state: State, process: str) -> Action:
+        """The only action that can ever advance ``process`` from here."""
+        statement = self.statement_at(state, process)
+        if not self.is_buffered(statement.channel):
+            return Action(ActionKind.RENDEZVOUS, statement.channel)
+        if statement.kind == "put":
+            return Action(ActionKind.PUT, statement.channel)
+        return Action(ActionKind.GET, statement.channel)
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def is_enabled(self, state: State, action: Action) -> bool:
+        channel = action.channel
+        if action.kind is ActionKind.RENDEZVOUS:
+            producer, consumer = self.endpoints(action)
+            put_ready = (
+                producer in self.chains
+                and self.statement_at(state, producer).kind == "put"
+                and self.statement_at(state, producer).channel == channel
+            )
+            get_ready = (
+                consumer in self.chains
+                and self.statement_at(state, consumer).kind == "get"
+                and self.statement_at(state, consumer).channel == channel
+            )
+            return put_ready and get_ready
+        (endpoint,) = self.endpoints(action)
+        statement = self.statement_at(state, endpoint)
+        if statement.channel != channel:
+            return False
+        if action.kind is ActionKind.PUT:
+            return (
+                statement.kind == "put"
+                and self.occupancy(state, channel) < self.capacity(channel)
+            )
+        return statement.kind == "get" and self.occupancy(state, channel) > 0
+
+    def enabled_actions(self, state: State) -> tuple[Action, ...]:
+        """All enabled actions, deterministically ordered.
+
+        Derived from each process's current statement, so the scan is
+        linear in the number of processes; each enabled rendezvous is
+        reported once (from its producer side).
+        """
+        enabled: list[Action] = []
+        for process in self.process_names:
+            action = self.current_action(state, process)
+            if action.kind is ActionKind.GET:
+                if self.is_enabled(state, action):
+                    enabled.append(action)
+            elif action.kind is ActionKind.PUT:
+                if self.is_enabled(state, action):
+                    enabled.append(action)
+            else:  # rendezvous: count it once, from the producer side
+                if (
+                    self._producer[action.channel] == process
+                    and self.is_enabled(state, action)
+                ):
+                    enabled.append(action)
+        enabled.sort(key=lambda a: (a.channel, a.kind.value))
+        return tuple(enabled)
+
+    def successor(self, state: State, action: Action) -> State:
+        """The state after firing ``action`` (must be enabled)."""
+        indices = list(state[0])
+        occupancies = list(state[1])
+        for process in self.endpoints(action):
+            slot = self._process_slot[process]
+            indices[slot] = (indices[slot] + 1) % len(self.chains[process])
+        if action.kind is ActionKind.PUT:
+            occupancies[self._buffer_slot[action.channel]] += 1
+        elif action.kind is ActionKind.GET:
+            occupancies[self._buffer_slot[action.channel]] -= 1
+        return (tuple(indices), tuple(occupancies))
+
+    # ------------------------------------------------------------------
+    # Deadlock
+    # ------------------------------------------------------------------
+
+    def is_deadlock(self, state: State) -> bool:
+        """True when some process is blocked and no action is enabled.
+
+        A system with no communication statements at all never blocks —
+        every process free-runs — so the empty transition system is
+        vacuously deadlock-free rather than trivially dead.
+        """
+        if not self.process_names:
+            return False
+        return not self.enabled_actions(state)
+
+    def blocked_map(self, state: State) -> dict[str, str]:
+        """``process -> channel`` it is blocked on (every communicating
+        process, in a deadlocked state)."""
+        return {
+            process: self.statement_at(state, process).channel
+            for process in self.process_names
+        }
+
+    def wait_for_edges(self, state: State) -> dict[str, str]:
+        """The wait-for graph of a (deadlocked) state.
+
+        A process stuck at a statement on channel ``c`` waits for the
+        *other* endpoint of ``c`` to serve it: the producer for a blocked
+        get, the consumer for a blocked put (a blocked buffered put waits
+        on the consumer to free a slot; a blocked buffered get waits on
+        the producer to queue an item — same edges).
+        """
+        edges: dict[str, str] = {}
+        for process in self.process_names:
+            statement = self.statement_at(state, process)
+            if statement.kind == "put":
+                edges[process] = self._consumer[statement.channel]
+            else:
+                edges[process] = self._producer[statement.channel]
+        return edges
+
+    # ------------------------------------------------------------------
+
+    def state_space_bound(self) -> int:
+        """The a-priori product bound on reachable states."""
+        bound = 1
+        for chain in self.chains.values():
+            bound *= len(chain)
+        for name in self.buffered_names:
+            bound *= self._capacity[name] + 1
+        return bound
+
+    def iter_channels_of(self, process: str) -> Iterator[str]:
+        """Every channel ``process`` touches (for dependency closure)."""
+        for statement in self.chains.get(process, ()):
+            yield statement.channel

@@ -1,0 +1,162 @@
+"""Stubborn-set partial-order reduction for the deadlock search.
+
+The naive search interleaves every enabled action at every state, so two
+independent rendezvous — say, on opposite ends of a pipeline — double the
+frontier even though both orders reach the same state (the diamond
+property of :mod:`repro.verify.semantics`).  A *stubborn set* is a subset
+of the enabled actions that is sound to explore exclusively: the classic
+theorem (Valmari 1991; Godefroid 1996, persistent sets) states that a
+selective search that expands a nonempty stubborn set at every state
+visits **every reachable deadlock state**.  Deadlock preservation needs no
+cycle proviso — that is what makes the reduction both simple and exact
+for the property this checker decides.
+
+Construction (the standard insertion algorithm, specialized to the
+blocking-channel dependency structure):
+
+* seed the closure with one enabled action;
+* an **enabled** action in the closure pulls in every action *dependent*
+  on it — here, syntactic dependence: sharing an endpoint process or
+  naming the same channel (anything else commutes and cannot be disabled,
+  see the diamond lemma in ``docs/VERIFICATION.md``);
+* a **disabled** action in the closure pulls in one *necessary enabling
+  set*: a set of actions, at least one of which must fire before the
+  disabled action can become enabled.  A misplaced endpoint process can
+  only move through its current action; an empty buffer needs the
+  channel's put; a full buffer needs its get.
+
+The stubborn set returned is the enabled subset of the closure.  Seeds
+are tried in deterministic order and the smallest result wins (ties go to
+the lexicographically first), so runs are reproducible action for action.
+"""
+
+from __future__ import annotations
+
+from repro.verify.semantics import Action, ActionKind, State, TransitionSystem
+
+
+def stubborn_set(
+    ts: TransitionSystem, state: State, enabled: tuple[Action, ...]
+) -> tuple[Action, ...]:
+    """A nonempty stubborn subset of ``enabled`` (assumed nonempty)."""
+    best: tuple[Action, ...] | None = None
+    for seed in enabled:
+        candidate = _closure(ts, state, seed, enabled)
+        if len(candidate) == 1:
+            return candidate  # cannot do better than a singleton
+        if best is None or len(candidate) < len(best):
+            best = candidate
+    assert best is not None
+    return best
+
+
+def _closure(
+    ts: TransitionSystem,
+    state: State,
+    seed: Action,
+    enabled: tuple[Action, ...],
+) -> tuple[Action, ...]:
+    """Close ``{seed}`` under the stubborn conditions; return the enabled
+    members, deterministically ordered."""
+    enabled_set = set(enabled)
+    closure: set[Action] = {seed}
+    work: list[Action] = [seed]
+    while work:
+        action = work.pop()
+        if action in enabled_set:
+            additions = _dependent_actions(ts, state, action)
+        else:
+            additions = _necessary_enabling_set(ts, state, action, closure)
+        for other in additions:
+            if other not in closure:
+                closure.add(other)
+                work.append(other)
+    chosen = sorted(
+        closure & enabled_set, key=lambda a: (a.channel, a.kind.value)
+    )
+    return tuple(chosen)
+
+
+def _dependent_actions(
+    ts: TransitionSystem, state: State, action: Action
+) -> list[Action]:
+    """Every action sharing a process or the channel with ``action``.
+
+    Actions are identified with the *statements that could issue them*:
+    for each endpoint process of ``action``, the current actions that any
+    statement of that process's chain could contribute, restricted to the
+    channels the process touches.  That keeps the universe local — the
+    closure never has to materialize all actions of the system.
+    """
+    dependents: list[Action] = []
+    seen: set[Action] = set()
+
+    def add(other: Action) -> None:
+        if other != action and other not in seen:
+            seen.add(other)
+            dependents.append(other)
+
+    for process in ts.endpoints(action):
+        for channel in ts.iter_channels_of(process):
+            add(_channel_action_for(ts, channel, process))
+    # Same-channel counterpart (the opposite endpoint of a buffered FIFO).
+    if action.kind is ActionKind.PUT:
+        add(Action(ActionKind.GET, action.channel))
+    elif action.kind is ActionKind.GET:
+        add(Action(ActionKind.PUT, action.channel))
+    return dependents
+
+
+def _channel_action_for(
+    ts: TransitionSystem, channel: str, process: str
+) -> Action:
+    """The action ``process`` would perform on ``channel``."""
+    if not ts.is_buffered(channel):
+        return Action(ActionKind.RENDEZVOUS, channel)
+    producer, = ts.endpoints(Action(ActionKind.PUT, channel))
+    if producer == process:
+        return Action(ActionKind.PUT, channel)
+    return Action(ActionKind.GET, channel)
+
+
+def _necessary_enabling_set(
+    ts: TransitionSystem,
+    state: State,
+    action: Action,
+    closure: set[Action],
+) -> list[Action]:
+    """Actions, one of which must fire before ``action`` can enable.
+
+    For each failing precondition there is an exact necessary set: a
+    misplaced process can only advance through its current action; an
+    empty buffer can only fill through its put; a full buffer can only
+    drain through its get.  When several preconditions fail, any one
+    suffices for soundness — prefer one whose necessary action is already
+    in the closure, which keeps stubborn sets small.
+    """
+    candidates: list[list[Action]] = []
+    channel = action.channel
+    for process in ts.endpoints(action):
+        statement = ts.statement_at(state, process)
+        wrong_statement = statement.channel != channel or (
+            action.kind is ActionKind.RENDEZVOUS
+            and statement.kind
+            != ("put" if process == ts.endpoints(action)[0] else "get")
+        )
+        if wrong_statement:
+            candidates.append([ts.current_action(state, process)])
+    if action.kind is ActionKind.PUT and ts.occupancy(
+        state, channel
+    ) >= ts.capacity(channel):
+        candidates.append([Action(ActionKind.GET, channel)])
+    if action.kind is ActionKind.GET and ts.occupancy(state, channel) == 0:
+        candidates.append([Action(ActionKind.PUT, channel)])
+    if not candidates:
+        # Every precondition holds, i.e. the action is actually enabled;
+        # the caller classifies it as such, so this is unreachable — be
+        # conservative and return nothing new.
+        return []
+    for candidate in candidates:
+        if all(member in closure for member in candidate):
+            return candidate
+    return candidates[0]

@@ -69,7 +69,12 @@ class TestFormats:
         main(["lint", paths["system"], "--ordering", paths["dead"],
               "--format", "json"])
         doc = json.loads(capsys.readouterr().out)
-        assert doc["summary"]["errors"] == 1
+        # The structural diagnosis (ERM201) plus its exhaustive
+        # confirmation (ERM501) — and never the ERM502 disagreement alarm.
+        assert doc["summary"]["errors"] == 2
+        errors = {d["rule"] for d in doc["diagnostics"]
+                  if d["severity"] == "error"}
+        assert errors == {"ERM201", "ERM501"}
 
     def test_sarif(self, paths, capsys):
         main(["lint", paths["system"], "--ordering", paths["dead"],

@@ -1,0 +1,86 @@
+"""Byte-stability of lint output and idempotence of --fix.
+
+CI diffs lint output and caches SARIF logs; both only work when
+rendering the same findings is deterministic down to the byte, and when
+re-applying fixes to an already-fixed ordering is a no-op.
+"""
+
+from repro.diagnostics import Diagnostic, Severity, sorted_diagnostics
+from repro.lint import (
+    apply_fixes,
+    lint_system,
+    render_json,
+    render_sarif,
+    render_text,
+)
+
+
+class TestTotalOrder:
+    def test_sort_key_breaks_ties_on_message(self):
+        """Two findings of the same rule at the same location must not
+        compare equal — the message is the final tiebreak, so the sort
+        is total and insertion order never leaks into the output."""
+        a = Diagnostic(rule="ERM401", severity=Severity.INFO,
+                       message="alpha", location=("P1",))
+        b = Diagnostic(rule="ERM401", severity=Severity.INFO,
+                       message="beta", location=("P1",))
+        assert a.sort_key() != b.sort_key()
+        assert sorted_diagnostics([b, a]) == (a, b)
+        assert sorted_diagnostics([a, b]) == (a, b)
+
+    def test_severity_then_rule_then_location_then_message(self):
+        error = Diagnostic(rule="ERM999", severity=Severity.ERROR,
+                           message="z")
+        info_early = Diagnostic(rule="ERM101", severity=Severity.INFO,
+                                message="a", location=("A",))
+        info_late = Diagnostic(rule="ERM101", severity=Severity.INFO,
+                               message="a", location=("B",))
+        assert sorted_diagnostics([info_late, info_early, error]) == (
+            error, info_early, info_late
+        )
+
+
+class TestByteStability:
+    def test_full_catalog_renders_identically_twice(self, motivating,
+                                                    deadlock_ordering):
+        """The regression: every rule of the catalog runs, twice, from
+        scratch — all three renderings must be byte-identical."""
+        first = lint_system(motivating, deadlock_ordering)
+        second = lint_system(motivating, deadlock_ordering)
+        assert render_text(first, verbose=True) == render_text(
+            second, verbose=True
+        )
+        assert render_json(first) == render_json(second)
+        assert render_sarif(first) == render_sarif(second)
+
+    def test_diagnostics_come_out_sorted(self, motivating,
+                                         deadlock_ordering):
+        result = lint_system(motivating, deadlock_ordering)
+        assert result.diagnostics == sorted_diagnostics(result.diagnostics)
+
+
+class TestFixIdempotence:
+    def test_apply_fixes_twice_is_a_no_op(self, motivating,
+                                          deadlock_ordering):
+        first = lint_system(motivating, deadlock_ordering)
+        outcome = apply_fixes(motivating, deadlock_ordering,
+                              first.diagnostics)
+        assert outcome.changed  # the ERM201 fix-it heals the deadlock
+
+        relint = lint_system(motivating, outcome.ordering)
+        again = apply_fixes(motivating, outcome.ordering,
+                            relint.diagnostics)
+        assert not again.changed
+        assert again.ordering == outcome.ordering
+
+    def test_reapplying_the_same_diagnostics_converges(self, motivating,
+                                                       deadlock_ordering):
+        """Even replaying the *original* diagnostics against the fixed
+        ordering must not oscillate: the patch sets absolute per-process
+        sequences, so it is idempotent by construction."""
+        first = lint_system(motivating, deadlock_ordering)
+        outcome = apply_fixes(motivating, deadlock_ordering,
+                              first.diagnostics)
+        replay = apply_fixes(motivating, outcome.ordering,
+                             first.diagnostics)
+        assert replay.ordering == outcome.ordering

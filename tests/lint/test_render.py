@@ -22,7 +22,8 @@ class TestText:
                                            deadlock_ordering):
         text = render_text(lint_system(motivating, deadlock_ordering))
         assert text.startswith("ERM201 error [")
-        assert "1 error" in text
+        assert "ERM501 error [" in text  # the exhaustive confirmation
+        assert "2 errors" in text
         assert "fixable with --fix" in text
 
     def test_verbose_appends_fix_descriptions(self, motivating,
@@ -37,7 +38,7 @@ class TestJson:
         doc = json.loads(render_json(lint_system(motivating,
                                                  deadlock_ordering)))
         assert doc["subject"] == "motivating"
-        assert doc["summary"]["errors"] == 1
+        assert doc["summary"]["errors"] == 2  # ERM201 + its ERM501 proof
         assert doc["summary"]["fixable"] == 1
         [erm201] = [d for d in doc["diagnostics"] if d["rule"] == "ERM201"]
         assert erm201["severity"] == "error"
