@@ -125,6 +125,14 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         "overhead, results bit-identical with and without sinks",
         bench="test_bench_obs_overhead.py",
     ),
+    Experiment(
+        id="IR",
+        artifact="extension: lowered core IR",
+        claim="compile once, run everywhere: lowering < 5% of one "
+        "simulation, array simulator >= 1.5x the interpretive engine, "
+        "results bit-identical",
+        bench="test_bench_ir.py",
+    ),
 )
 
 

@@ -35,7 +35,7 @@ from repro.core import (
     save_ordering,
     synthetic_soc,
 )
-from repro.errors import DeadlockError, ReproError
+from repro.errors import DeadlockError, ReproError, ValidationError
 from repro.model import analyze_system, deadlock_cycle
 from repro.ordering import channel_ordering, declaration_ordering
 from repro.sim import simulate
@@ -50,6 +50,23 @@ def _load_ordering_arg(system, path: str | None) -> ChannelOrdering:
     return ordering
 
 
+def _write_text(text: str, path: str, what: str) -> None:
+    """Write an output file, mapping I/O failures to a coded exit.
+
+    Every ``-o`` path funnels through here so an unwritable destination
+    reports ``error: ...`` and exits 2 (the :class:`ValidationError`
+    contract of :mod:`repro.core.serialization`) instead of dumping an
+    ``OSError`` traceback.
+    """
+    try:
+        with open(path, "w") as handle:
+            handle.write(text)
+    except OSError as error:
+        raise ValidationError(
+            f"cannot write {what} file {path}: {error}"
+        ) from error
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     system = load_system(args.system)
     ordering = _load_ordering_arg(system, args.ordering)
@@ -61,6 +78,97 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"throughput:        {float(performance.throughput):.6g} items/cycle")
     print(f"critical processes: {', '.join(performance.critical_processes)}")
     print(f"critical channels:  {', '.join(performance.critical_channels)}")
+    return 0
+
+
+def _cmd_ir(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.ir import KIND_ORDER, OP_NAMES, lower
+
+    system = load_system(args.system)
+    ordering = _load_ordering_arg(system, args.ordering)
+    ir = lower(system, ordering)
+
+    if args.format == "json":
+        doc = {
+            "system": ir.system_name,
+            "structural_hash": ir.structural_hash,
+            "processes": [
+                {
+                    "pid": pid,
+                    "name": name,
+                    "kind": KIND_ORDER[ir.process_kinds[pid]].value,
+                    "program": [
+                        {"op": OP_NAMES[op], "arg": arg}
+                        for op, arg in zip(ir.op_kinds[pid], ir.op_args[pid])
+                    ],
+                    "first_marked": ir.first_marked[pid],
+                }
+                for pid, name in enumerate(ir.processes)
+            ],
+            "channels": [
+                {
+                    "cid": cid,
+                    "name": name,
+                    "producer": ir.processes[ir.producers[cid]],
+                    "consumer": ir.processes[ir.consumers[cid]],
+                    "latency": ir.channel_latencies[cid],
+                    "capacity": ir.capacities[cid],
+                    "initial_tokens": ir.initial_tokens[cid],
+                    "buffered": ir.buffered[cid],
+                    "effective_capacity": ir.effective_capacities[cid],
+                }
+                for cid, name in enumerate(ir.channels)
+            ],
+        }
+        text = json.dumps(doc, indent=2) + "\n"
+    else:
+        lines = [
+            f"system:          {ir.system_name}",
+            f"structural hash: {ir.structural_hash}",
+            f"processes: {ir.n_processes}, channels: {ir.n_channels}, "
+            f"statements: {ir.total_statements()}",
+            "",
+            "processes (* marks the statement holding the initial token):",
+        ]
+        for pid, name in enumerate(ir.processes):
+            kind = KIND_ORDER[ir.process_kinds[pid]].value
+            program = " ".join(
+                (
+                    stmt_kind
+                    if stmt_kind == "compute"
+                    else f"{stmt_kind}({target})"
+                )
+                + ("*" if i == ir.first_marked[pid] else "")
+                for i, (stmt_kind, target) in enumerate(ir.statements_of(pid))
+            )
+            lines.append(f"  [{pid}] {name} ({kind}): {program}")
+        lines.append("")
+        lines.append("channels:")
+        for cid, name in enumerate(ir.channels):
+            route = (
+                f"{ir.processes[ir.producers[cid]]} -> "
+                f"{ir.processes[ir.consumers[cid]]}"
+            )
+            if ir.buffered[cid]:
+                shape = (
+                    f"fifo capacity {ir.effective_capacities[cid]}, "
+                    f"initial tokens {ir.initial_tokens[cid]}"
+                )
+            else:
+                shape = "rendezvous"
+            lines.append(
+                f"  [{cid}] {name}: {route}, "
+                f"latency {ir.channel_latencies[cid]}, {shape}"
+            )
+        text = "\n".join(lines) + "\n"
+
+    if args.output:
+        _write_text(text, args.output, "ir")
+        print(f"ir written to {args.output}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -265,8 +373,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         hint = ""
 
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
+        _write_text(text, args.output, "trace")
         total_stalls = sum(result.stall_cycles.values())
         print(f"{len(events)} events ({total_stalls} stall cycles) "
               f"written to {args.output}")
@@ -478,8 +585,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         include_stalls=not args.no_stalls,
     )
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
+        _write_text(text, args.output, "report")
         print(f"report written to {args.output}")
     else:
         print(text, end="")
@@ -559,8 +665,7 @@ def _cmd_dot(args: argparse.Namespace) -> int:
                             highlight_channels=highlight_channels,
                             highlight_processes=highlight_processes)
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(dot)
+        _write_text(dot, args.output, "dot")
         print(f"written to {args.output}")
     else:
         print(dot, end="")
@@ -618,6 +723,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--float", action="store_true",
                    help="float arithmetic (faster on huge systems)")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "ir",
+        help="show the lowered core IR of a (system, ordering) pair "
+             "(the compiled program sim/TMG/verify share; "
+             "docs/ARCHITECTURE.md)",
+    )
+    p.add_argument("system", help="system JSON file")
+    p.add_argument("--ordering", help="ordering JSON file")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("-o", "--output", help="write the dump to this file")
+    p.set_defaults(func=_cmd_ir)
 
     p = sub.add_parser("order", help="run Algorithm 1 channel ordering")
     p.add_argument("system")

@@ -8,6 +8,9 @@ Loaders are strict: a missing required field, an unknown field, an
 unsupported ``format_version``, an unreadable file, or malformed JSON all
 raise :class:`~repro.errors.ValidationError` with a message naming the
 offending entry — never a raw ``KeyError`` or ``JSONDecodeError``.
+Writers follow the same contract: an unwritable path raises
+:class:`~repro.errors.ValidationError`, never a raw ``OSError``, so CLI
+front ends report a coded error (exit 2) instead of a traceback.
 """
 
 from __future__ import annotations
@@ -171,9 +174,22 @@ def _read_json(path: str | Path, what: str) -> Any:
         ) from error
 
 
+def _write_text(text: str, path: str | Path, what: str) -> None:
+    try:
+        Path(path).write_text(text)
+    except OSError as error:
+        raise ValidationError(
+            f"cannot write {what} file {path}: {error}"
+        ) from error
+
+
 def save_system(system: SystemGraph, path: str | Path) -> None:
-    """Write a system to a JSON file."""
-    Path(path).write_text(json.dumps(system_to_dict(system), indent=2))
+    """Write a system to a JSON file.
+
+    An unwritable path raises :class:`~repro.errors.ValidationError`
+    (mirroring the loaders), never a raw :class:`OSError`.
+    """
+    _write_text(json.dumps(system_to_dict(system), indent=2), path, "system")
 
 
 def load_system(path: str | Path) -> SystemGraph:
@@ -182,8 +198,14 @@ def load_system(path: str | Path) -> SystemGraph:
 
 
 def save_ordering(ordering: ChannelOrdering, path: str | Path) -> None:
-    """Write a channel ordering to a JSON file."""
-    Path(path).write_text(json.dumps(ordering_to_dict(ordering), indent=2))
+    """Write a channel ordering to a JSON file.
+
+    An unwritable path raises :class:`~repro.errors.ValidationError`
+    (mirroring the loaders), never a raw :class:`OSError`.
+    """
+    _write_text(
+        json.dumps(ordering_to_dict(ordering), indent=2), path, "ordering"
+    )
 
 
 def load_ordering(path: str | Path) -> ChannelOrdering:

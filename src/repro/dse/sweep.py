@@ -53,11 +53,16 @@ def sweep_targets(
     timers cover the sweep loop itself, and ``snapshot.iteration`` resets
     per target while the snapshot list keeps accumulating.
     """
+    from repro.ir import lower
     from repro.lint import preflight
 
-    # One structural pre-flight up front; every per-target Explorer.run
-    # re-checks, but failing here reports the codes before any ILP work.
+    # One structural pre-flight and one lowering up front, hoisted out of
+    # the per-target loop: failing here reports the codes before any ILP
+    # work, the pre-flight success memo turns every per-target re-check
+    # inside Explorer.run into a hash lookup, and the warm lowering memo
+    # hands each target's first analysis its compiled program for free.
     preflight(config.system, config.ordering)
+    lower(config.system, config.ordering)
     explorer_kwargs.setdefault("perf_engine", PerformanceEngine())
     profiler = explorer_kwargs.get("profiler")
     points: list[SweepPoint] = []

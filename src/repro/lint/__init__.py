@@ -25,6 +25,7 @@ error-only subset the explorer and the simulator run before starting.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Sequence
 
@@ -150,6 +151,18 @@ def lint_system(
     )
 
 
+#: Successful default-registry pre-flights, keyed by the IR structural
+#: hash.  Success-only by design: a failing specification must re-report
+#: its diagnostics every time (and failures are rare and already cheap).
+_PREFLIGHT_MEMO_CAPACITY = 512
+_preflight_passed: OrderedDict[str, None] = OrderedDict()
+
+
+def clear_preflight_cache() -> None:
+    """Drop the memoized pre-flight successes (test isolation hook)."""
+    _preflight_passed.clear()
+
+
 def preflight(
     system: SystemGraph,
     ordering: ChannelOrdering | None = None,
@@ -165,13 +178,41 @@ def preflight(
     when any error-severity finding exists.  The explorer, the simulator,
     and target sweeps call this so a broken specification fails with rule
     codes instead of an ad-hoc exception deep in an analysis.
+
+    Successful default-registry runs are memoized on the IR structural
+    hash (:func:`repro.ir.structural_hash_of`): every quantity the
+    pre-flight rules read — process kinds, the channel tables including
+    ``initial_tokens``, and the per-process get/put orders — is part of
+    that hash, so a repeated pre-flight of an already-passed design (the
+    explorer re-checks on every ``run``, sweeps once per target) is one
+    hash and one set lookup.  Orderings that name processes the system
+    does not have are never memoized (the hash renders only declared
+    processes, so such entries would alias), and neither are runs with a
+    custom ``registry``.
     """
+    from repro.ir import structural_hash_of
+
+    checked = ordering or ChannelOrdering.declaration_order(system)
+    known = set(system.process_names)
+    memoable = registry is None and (
+        set(checked.gets) | set(checked.puts) <= known
+    )
+    key = ""
+    if memoable:
+        key = structural_hash_of(system, checked)
+        if key in _preflight_passed:
+            _preflight_passed.move_to_end(key)
+            return
     result = lint_system(
-        system, ordering, registry=registry, select=list(PREFLIGHT_RULES)
+        system, checked, registry=registry, select=list(PREFLIGHT_RULES)
     )
     errors = result.errors
     if errors:
         raise LintError(errors)
+    if memoable:
+        _preflight_passed[key] = None
+        if len(_preflight_passed) > _PREFLIGHT_MEMO_CAPACITY:
+            _preflight_passed.popitem(last=False)
 
 
 __all__ = [
@@ -188,6 +229,7 @@ __all__ = [
     "Severity",
     "apply_fixes",
     "category",
+    "clear_preflight_cache",
     "default_registry",
     "fix_result",
     "format_witness",

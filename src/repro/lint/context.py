@@ -21,6 +21,7 @@ from repro.perf.engine import PerformanceEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hls.pareto import ImplementationLibrary
+    from repro.ir import LoweredIR
     from repro.model.performance import SystemPerformance
     from repro.verify.checker import VerificationResult
 
@@ -61,6 +62,7 @@ class LintContext:
         self._optimized: object = _UNSET
         self._dead_loops: list[tuple[str, ...]] | None = None
         self._verification: object = _UNSET
+        self._ir: object = _UNSET
 
     # ------------------------------------------------------------------
     # Structural soundness
@@ -91,6 +93,36 @@ class LintContext:
     def sound(self) -> bool:
         """True when deeper (deadlock/performance) analysis is meaningful."""
         return self.structure_ok() and self.ordering_ok()
+
+    # ------------------------------------------------------------------
+    # Lowered program
+    # ------------------------------------------------------------------
+
+    def ir(self) -> "LoweredIR | None":
+        """The lowered program of ``(system, ordering)``, or ``None``.
+
+        ``None`` when the configuration is not sound (an invalid ordering
+        has no well-defined lowering).  Served from the process-wide
+        lowering memo, so the simulator, verifier, and performance engine
+        the lint run precedes all reuse this exact object.
+        """
+        if self._ir is _UNSET:
+            if not self.sound():
+                self._ir = None
+            else:
+                from repro.ir import lower
+
+                self._ir = lower(self.system, self.ordering)
+        return self._ir  # type: ignore[return-value]
+
+    def ir_hash(self) -> str | None:
+        """The canonical content hash of the configuration, or ``None``.
+
+        The same digest :func:`repro.perf.fingerprint.structure_fingerprint`
+        returns — the shared cache key of every IR consumer.
+        """
+        ir = self.ir()
+        return ir.structural_hash if ir is not None else None
 
     # ------------------------------------------------------------------
     # Deadlock facts

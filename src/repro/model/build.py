@@ -40,6 +40,7 @@ from typing import Mapping
 
 from repro.core.system import ChannelOrdering, ProcessKind, SystemGraph
 from repro.errors import ValidationError
+from repro.ir import OP_COMPUTE, OP_GET, LoweredIR, lower
 from repro.tmg.graph import TimedMarkedGraph
 
 CHANNEL_PREFIX = "ch:"
@@ -127,15 +128,26 @@ def build_tmg(
     system: SystemGraph,
     ordering: ChannelOrdering | None = None,
     process_latencies: Mapping[str, int] | None = None,
+    *,
+    ir: LoweredIR | None = None,
 ) -> SystemTmg:
     """Build the blocking-protocol TMG of a system under an ordering.
+
+    The system is first compiled to its :class:`~repro.ir.LoweredIR`
+    (memoized; callers that already hold the IR pass it to skip even the
+    memo probe) and the TMG is generated from the IR's integer tables.
+    Transition and place insertion order follows the IR's declaration
+    order, so the model is element-for-element identical to one built
+    directly from the object graph.
 
     Args:
         system: The system topology with default latencies.
         ordering: Statement orders; defaults to declaration order.
         process_latencies: Optional per-process latency overrides (used by
             design-space exploration to evaluate an implementation
-            selection without rebuilding the system).
+            selection without rebuilding the system).  Latencies are the
+            one quantity *not* in the IR — it is latency-free by design.
+        ir: The pre-lowered IR of ``(system, ordering)``, if available.
 
     Returns:
         A :class:`SystemTmg` wrapping the TMG and the provenance needed to
@@ -143,36 +155,37 @@ def build_tmg(
     """
     if ordering is None:
         ordering = ChannelOrdering.declaration_order(system)
-    else:
-        ordering.validate(system)
+    if ir is None:
+        ir = lower(system, ordering)
     overrides = dict(process_latencies or {})
 
-    tmg = TimedMarkedGraph(f"{system.name}.tmg")
+    tmg = TimedMarkedGraph(f"{ir.system_name}.tmg")
 
-    for channel in system.channels:
-        if not channel.is_buffered:
+    for cid, channel_name in enumerate(ir.channels):
+        if not ir.buffered[cid]:
             tmg.add_transition(
-                channel_transition(channel.name), delay=channel.latency
+                channel_transition(channel_name), delay=ir.channel_latencies[cid]
             )
         else:
             # Buffered (FIFO) or pre-loaded channel: split model (see
             # module docstring).
-            capacity = channel.effective_capacity
+            initial = ir.initial_tokens[cid]
             tmg.add_transition(
-                buffered_put_transition(channel.name), delay=channel.latency
+                buffered_put_transition(channel_name),
+                delay=ir.channel_latencies[cid],
             )
-            tmg.add_transition(buffered_get_transition(channel.name), delay=0)
+            tmg.add_transition(buffered_get_transition(channel_name), delay=0)
             tmg.add_place(
-                f"{channel.name}/data",
-                buffered_put_transition(channel.name),
-                buffered_get_transition(channel.name),
-                tokens=channel.initial_tokens,
+                f"{channel_name}/data",
+                buffered_put_transition(channel_name),
+                buffered_get_transition(channel_name),
+                tokens=initial,
             )
             tmg.add_place(
-                f"{channel.name}/credit",
-                buffered_get_transition(channel.name),
-                buffered_put_transition(channel.name),
-                tokens=capacity - channel.initial_tokens,
+                f"{channel_name}/credit",
+                buffered_get_transition(channel_name),
+                buffered_put_transition(channel_name),
+                tokens=ir.effective_capacities[cid] - initial,
             )
     for process in system.processes:
         latency = overrides.get(process.name, process.latency)
@@ -182,28 +195,33 @@ def build_tmg(
             )
         tmg.add_transition(process_transition(process.name), delay=latency)
 
-    for process in system.processes:
-        chain = ordering.statements_of(process.name)
-        # Transition driven by each statement.
-        transitions = []
-        for kind, target in chain:
-            if kind == "compute":
-                transitions.append(process_transition(process.name))
+    for pid, process_name in enumerate(ir.processes):
+        kinds = ir.op_kinds[pid]
+        args = ir.op_args[pid]
+        # Transition driven by each statement, and the statement's place.
+        transitions: list[str] = []
+        place_names: list[str] = []
+        for op, arg in zip(kinds, args):
+            if op == OP_COMPUTE:
+                transitions.append(process_transition(process_name))
+                place_names.append(statement_place(process_name, "compute"))
                 continue
-            channel = system.channel(target)
-            if not channel.is_buffered:
-                transitions.append(channel_transition(target))
-            elif kind == "put":
-                transitions.append(buffered_put_transition(target))
+            channel_name = ir.channels[arg]
+            if not ir.buffered[arg]:
+                transitions.append(channel_transition(channel_name))
+            elif op == OP_GET:
+                transitions.append(buffered_get_transition(channel_name))
             else:
-                transitions.append(buffered_get_transition(target))
-        place_names = [
-            statement_place(process.name, kind, None if kind == "compute" else target)
-            for kind, target in chain
-        ]
-        first_marked = _first_marked_statement(process.kind, chain)
-        for i, (kind, target) in enumerate(chain):
-            producer = transitions[(i - 1) % len(chain)]
+                transitions.append(buffered_put_transition(channel_name))
+            place_names.append(
+                statement_place(
+                    process_name, "get" if op == OP_GET else "put", channel_name
+                )
+            )
+        first_marked = ir.first_marked[pid]
+        n = len(kinds)
+        for i in range(n):
+            producer = transitions[(i - 1) % n]
             tokens = 1 if i == first_marked else 0
             tmg.add_place(place_names[i], producer, transitions[i], tokens=tokens)
 
@@ -221,6 +239,10 @@ def _first_marked_statement(
     ("putsrc1"), modelling an environment that always has data ready.
     A source with no puts is degenerate and gets its token on the
     computation place so its chain stays live.
+
+    The blocking-protocol path reads the equivalent precomputed
+    :attr:`repro.ir.LoweredIR.first_marked` table; this helper remains for
+    consumers of decoded chains (the non-blocking model variant).
     """
     for i, (statement_kind, _) in enumerate(chain):
         if statement_kind == "get":

@@ -36,12 +36,12 @@ from typing import Mapping
 
 from repro.core.system import ChannelOrdering, SystemGraph
 from repro.errors import DeadlockError, NotLiveError
+from repro.ir import LoweredIR, lower
 from repro.model.performance import SystemPerformance, _system_deadlock
 from repro.perf.cache import MISS, CacheStats, LruCache
 from repro.perf.fingerprint import (
     analysis_fingerprint,
     effective_latencies,
-    structure_fingerprint,
 )
 from repro.perf.incremental import StructureEntry, build_structure
 from repro.tmg.analysis import Engine, analyze_event_graph
@@ -104,7 +104,8 @@ class PerformanceEngine:
             ordering = ChannelOrdering.declaration_order(system)
         latencies = effective_latencies(system, process_latencies)
         screen = self.float_screen and exact and engine is Engine.HOWARD
-        structure_key = structure_fingerprint(system, ordering)
+        ir = lower(system, ordering)
+        structure_key = ir.structural_hash
         result_key = analysis_fingerprint(
             structure_key, latencies, engine.value, exact, screen
         )
@@ -115,7 +116,7 @@ class PerformanceEngine:
                 raise cached.error()
             return cached
 
-        entry = self._structure(structure_key, system, ordering, latencies)
+        entry = self._structure(structure_key, system, ordering, latencies, ir)
         if entry.deadlock_cycle is not None:
             error = _system_deadlock(
                 entry.model,
@@ -159,12 +160,13 @@ class PerformanceEngine:
         system: SystemGraph,
         ordering: ChannelOrdering,
         latencies: Mapping[str, int],
+        ir: LoweredIR,
     ) -> StructureEntry:
         if not self.incremental:
-            return build_structure(system, ordering, latencies)
+            return build_structure(system, ordering, latencies, ir=ir)
         entry = self.structures.get(structure_key)
         if entry is MISS:
-            entry = build_structure(system, ordering, latencies)
+            entry = build_structure(system, ordering, latencies, ir=ir)
             self.structures.put(structure_key, entry)
         return entry
 

@@ -33,6 +33,7 @@ import hashlib
 from typing import Mapping
 
 from repro.core.system import ChannelOrdering, SystemGraph
+from repro.ir import lower
 
 _SEPARATOR = "\x1f"  # unit separator: cannot appear in validated names
 
@@ -67,20 +68,13 @@ def structure_fingerprint(
     channel's endpoints/latency/capacity/initial-tokens, and the full
     get/put statement order of every process.  Process latencies are
     deliberately absent — see the module docstring.
+
+    The digest *is* :attr:`repro.ir.LoweredIR.structural_hash`: the
+    structure cache, the lint cache, and the lowering memo all address the
+    same compiled object by the same key, so an analysis served from any
+    of them provably describes the IR the simulator and verifier execute.
     """
-    parts: list[str] = ["structure:v1", system.name]
-    for process in system.processes:
-        parts.append(f"p:{process.name}:{process.kind.value}")
-    for channel in system.channels:
-        parts.append(
-            "c:{0.name}:{0.producer}:{0.consumer}:{0.latency}"
-            ":{0.capacity}:{0.initial_tokens}".format(channel)
-        )
-    for process in system.processes:
-        gets = ",".join(ordering.gets_of(process.name))
-        puts = ",".join(ordering.puts_of(process.name))
-        parts.append(f"o:{process.name}:g={gets}:p={puts}")
-    return _digest(parts)
+    return lower(system, ordering).structural_hash
 
 
 def analysis_fingerprint(

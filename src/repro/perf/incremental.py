@@ -31,9 +31,11 @@ from typing import Mapping
 
 from repro.core.system import ChannelOrdering, SystemGraph
 from repro.errors import ValidationError
+from repro.ir import LoweredIR, lower
 from repro.model.build import PROCESS_PREFIX, SystemTmg, build_tmg
+from repro.perf.fingerprint import effective_latencies
 from repro.tmg.deadlock import find_token_free_cycle
-from repro.tmg.event_graph import Edge, EventGraph, build_event_graph
+from repro.tmg.event_graph import Edge, EventGraph, event_graph_from_ir
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,9 @@ class StructureEntry:
     templates: dict[str, tuple[_EdgeTemplate, ...]]
     #: Token-free cycle (deadlock witness) or None — structural, computed once.
     deadlock_cycle: list[str] | None
+    #: The lowered IR this structure was compiled from; its
+    #: ``structural_hash`` is the entry's cache key.
+    ir: LoweredIR
 
     def instantiate(self, latencies: Mapping[str, int]) -> EventGraph:
         """The event graph under ``latencies`` (full effective map).
@@ -101,15 +106,23 @@ def build_structure(
     system: SystemGraph,
     ordering: ChannelOrdering | None,
     process_latencies: Mapping[str, int] | None = None,
+    *,
+    ir: LoweredIR | None = None,
 ) -> StructureEntry:
     """Build the shared structure of a (system, ordering) pair.
 
-    Builds the TMG once (with whatever latencies the first caller passed —
+    Lowers to the shared IR (memoized; pass ``ir`` to skip the probe),
+    builds the TMG once (with whatever latencies the first caller passed —
     they only seed the templates' *bindings*, not their values), records
-    the event graph skeleton, and runs the structural liveness scan.
+    the event graph skeleton, and runs the structural liveness scan.  The
+    skeleton is contracted straight from the IR
+    (:func:`~repro.tmg.event_graph.event_graph_from_ir`), which replicates
+    the TMG route's node/edge order exactly.
     """
-    model = build_tmg(system, ordering, process_latencies=process_latencies)
-    graph = build_event_graph(model.tmg)
+    if ir is None:
+        ir = lower(system, ordering)
+    model = build_tmg(system, ordering, process_latencies=process_latencies, ir=ir)
+    graph = event_graph_from_ir(ir, effective_latencies(system, process_latencies))
     templates: dict[str, tuple[_EdgeTemplate, ...]] = {}
     for node in graph.nodes:
         row = []
@@ -136,4 +149,5 @@ def build_structure(
         nodes=graph.nodes,
         templates=templates,
         deadlock_cycle=find_token_free_cycle(graph),
+        ir=ir,
     )

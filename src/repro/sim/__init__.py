@@ -15,6 +15,7 @@ from repro.sim.metrics import (
     utilizations,
 )
 from repro.sim.process import Behavior, ProcessState, StallStats, token_behavior
+from repro.sim.reference import ReferenceSimulator
 from repro.sim.trace import TraceEvent, TraceRecorder, TraceSink, format_trace
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "ChannelState",
     "ProcessState",
     "ProcessUtilization",
+    "ReferenceSimulator",
     "Rendezvous",
     "SimulationResult",
     "Simulator",

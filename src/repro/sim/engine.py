@@ -14,6 +14,21 @@ period it measures must equal the analytic cycle time ``π(G)`` (tested in
 ``tests/integration``).  Unlike the TMG, it also carries real payloads, so
 the MPEG-2 functional case study can execute its actual computation
 through the blocking channels.
+
+Execution model
+---------------
+
+The engine executes the :class:`~repro.ir.LoweredIR` array program of the
+``(system, ordering)`` pair: each process steps through its
+``op_kinds``/``op_args`` integer arrays (opcode compare + dense channel
+id), and all channel state — pending rendezvous arrivals, FIFO items,
+credits — lives in per-channel-id deque tables inside the engine.  No
+string comparison, name lookup, or per-event object allocation happens on
+the hot path; payload staging and trace emission are gated behind one
+boolean each.  The pre-refactor chain-walking interpreter is preserved
+verbatim as :class:`repro.sim.reference.ReferenceSimulator`; differential
+tests assert both produce bit-identical :class:`SimulationResult`\\ s, and
+``benchmarks/test_bench_ir.py`` enforces this engine's speedup over it.
 """
 
 from __future__ import annotations
@@ -25,8 +40,8 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.core.system import ChannelOrdering, SystemGraph
 from repro.errors import SimulationDeadlock, SimulationError
-from repro.sim.channel import ChannelState
-from repro.sim.process import Behavior, ProcessState
+from repro.ir import OP_COMPUTE, OP_PUT, LoweredIR, lower
+from repro.sim.process import Behavior, token_behavior
 from repro.sim.trace import TraceEvent, TraceRecorder, TraceSink
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -64,6 +79,36 @@ class SimulationResult:
         if steps <= 0 or span < 0:
             return None
         return Fraction(span, steps)
+
+
+class _Proc:
+    """Mutable per-process execution state over the IR array program."""
+
+    __slots__ = (
+        "pid", "name", "ops", "args", "n", "latency", "behavior",
+        "time", "index", "iteration", "blocked_on", "compute_cycles",
+        "completion_times", "stall_by_cid", "inputs", "outputs", "sink_list",
+    )
+
+    def __init__(self, pid: int, name: str, ops: tuple[int, ...],
+                 args: tuple[int, ...], latency: int, n_channels: int):
+        self.pid = pid
+        self.name = name
+        self.ops = ops
+        self.args = args
+        self.n = len(ops)
+        self.latency = latency
+        self.behavior: Behavior = token_behavior
+        self.time = 0
+        self.index = 0
+        self.iteration = 0
+        self.blocked_on = -1  # channel id while waiting, -1 when runnable
+        self.compute_cycles = 0
+        self.completion_times: list[int] = []
+        self.stall_by_cid = [0] * n_channels
+        self.inputs: dict[str, Any] = {}
+        self.outputs: dict[str, Any] = {}
+        self.sink_list: list[Any] | None = None
 
 
 class Simulator:
@@ -106,30 +151,82 @@ class Simulator:
         # ordering.validate() and rejects specifications that would
         # deadlock under *every* ordering before any cycle is simulated.
         preflight(system, self.ordering)
+        ir = self.ir = lower(system, self.ordering)
         behaviors = behaviors or {}
         overrides = dict(process_latencies or {})
         payloads = initial_payloads or {}
 
-        self._channels: dict[str, ChannelState] = {
-            c.name: ChannelState(c, initial_payloads=tuple(payloads.get(c.name, ())))
-            for c in system.channels
-        }
-        self._processes: dict[str, ProcessState] = {}
-        for p in system.processes:
-            state = ProcessState(
-                name=p.name,
-                chain=self.ordering.statements_of(p.name),
-                latency=overrides.get(p.name, p.latency),
-            )
-            behavior = behaviors.get(p.name)
-            if behavior is not None:
-                state.behavior = behavior
-            self._processes[p.name] = state
-        self._trace = TraceRecorder(enabled=record_trace, sinks=sinks)
-        self._metrics = metrics
+        # Payload staging (behaviour dispatch, inputs/outputs dicts, sink
+        # capture) only matters when someone supplies payloads; a pure
+        # synchronization run skips that bookkeeping entirely.
+        self._functional = bool(behaviors) or bool(payloads)
+
+        n_channels = ir.n_channels
+        self._ch_latency = ir.channel_latencies
+        self._ch_buffered = ir.buffered
+        self._producer_pid = ir.producers
+        self._consumer_pid = ir.consumers
+        self._transfers = [0] * n_channels
+        # Rendezvous bookkeeping, indexed by channel id.
+        self._pending_put: list[deque[tuple[int, Any]]] = [
+            deque() for _ in range(n_channels)
+        ]
+        self._pending_get: list[deque[int]] = [deque() for _ in range(n_channels)]
+        # Buffered (FIFO) bookkeeping, indexed by channel id.
+        self._items: list[deque[tuple[int, Any]]] = [
+            deque() for _ in range(n_channels)
+        ]
+        self._credits: list[deque[int]] = [deque() for _ in range(n_channels)]
+        self._blocked_put: list[deque[tuple[int, Any]]] = [
+            deque() for _ in range(n_channels)
+        ]
+        self._blocked_get: list[deque[int]] = [deque() for _ in range(n_channels)]
+        for cid, channel_name in enumerate(ir.channels):
+            preload = list(payloads.get(channel_name, ()))
+            if ir.buffered[cid]:
+                tokens = ir.initial_tokens[cid]
+                if len(preload) > tokens:
+                    raise SimulationError(
+                        f"channel {channel_name!r}: more initial payloads "
+                        f"({len(preload)}) than initial tokens ({tokens})"
+                    )
+                preload += [None] * (tokens - len(preload))
+                items = self._items[cid]
+                for payload in preload:
+                    items.append((0, payload))
+                credits = self._credits[cid]
+                for _ in range(ir.effective_capacities[cid] - tokens):
+                    credits.append(0)
+            elif preload:
+                raise SimulationError(
+                    f"channel {channel_name!r}: rendezvous channels cannot "
+                    "carry initial payloads"
+                )
+
+        sink_names = {p.name for p in system.sinks()}
         self._sink_payloads: dict[str, list[Any]] = {
-            p.name: [] for p in system.sinks()
+            name: [] for name in ir.processes if name in sink_names
         }
+        self._procs: list[_Proc] = []
+        for pid, name in enumerate(ir.processes):
+            proc = _Proc(
+                pid,
+                name,
+                ir.op_kinds[pid],
+                ir.op_args[pid],
+                overrides.get(name, system.process(name).latency),
+                n_channels,
+            )
+            behavior = behaviors.get(name)
+            if behavior is not None:
+                proc.behavior = behavior
+            if name in self._sink_payloads:
+                proc.sink_list = self._sink_payloads[name]
+            self._procs.append(proc)
+
+        self._trace = TraceRecorder(enabled=record_trace, sinks=sinks)
+        self._trace_on = record_trace or bool(sinks)
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
 
@@ -155,15 +252,18 @@ class Simulator:
         if iterations < 1:
             raise SimulationError("iterations must be >= 1")
         watch = watch or self._default_watch()
-        if watch not in self._processes:
+        watch_pid = self.ir.process_index.get(watch)
+        if watch_pid is None:
             raise SimulationError(f"unknown watch process {watch!r}")
+        procs = self._procs
         budget = max_steps or (
-            40 * (iterations + 4) * (len(self._processes) + len(self._channels)) + 1000
+            40 * (iterations + 4) * (len(procs) + self.ir.n_channels) + 1000
         )
 
-        runnable: deque[str] = deque(self._processes)
+        watched = procs[watch_pid]
+        runnable: deque[int] = deque(range(len(procs)))
         steps = 0
-        while self._processes[watch].iteration < iterations:
+        while watched.iteration < iterations:
             if not runnable:
                 self._raise_deadlock()
             steps += 1
@@ -172,12 +272,13 @@ class Simulator:
                     f"simulation exceeded its step budget ({budget}); "
                     "raise max_steps for very long transients"
                 )
-            name = runnable.popleft()
-            self._advance(name, runnable)
-            if not self._processes[name].blocked:
+            pid = runnable.popleft()
+            proc = procs[pid]
+            self._advance(proc, runnable)
+            if proc.blocked_on < 0:
                 # The process stopped at an iteration boundary, not on a
                 # channel: keep it runnable (round-robin fairness).
-                runnable.append(name)
+                runnable.append(pid)
         result = self._collect()
         if self._metrics is not None:
             self._record_metrics(result, steps)
@@ -191,7 +292,7 @@ class Simulator:
             return sinks[0].name
         return self.system.process_names[0]
 
-    def _advance(self, name: str, runnable: deque[str]) -> None:
+    def _advance(self, proc: _Proc, runnable: deque[int]) -> None:
         """Run one process until it blocks (or completes a full loop).
 
         Advancing stops at iteration boundaries too, so the runnable queue
@@ -199,175 +300,315 @@ class Simulator:
         (e.g. a testbench source with buffered outputs) monopolizes the
         engine.
         """
-        state = self._processes[name]
-        if state.blocked:
+        if proc.blocked_on >= 0:
             return
-        start_iteration = state.iteration
-        while state.iteration == start_iteration and not state.blocked:
-            kind, target = state.current
-            if kind == "compute":
-                state.run_behavior()
-                state.time += state.latency
-                state.compute_cycles += state.latency
-                self._trace.record(state.time, "compute", name, None,
-                                   state.iteration, duration=state.latency)
-                state.advance_statement()
-                continue
-            channel = self._channels[target]
-            if kind == "put":
-                payload = state.outputs.get(target)
-                outcome = channel.offer_put(state.time, payload)
-                if not outcome.complete:
-                    state.blocked_on = target
-                    self._trace.record(state.time, "block-put", name, target,
-                                       state.iteration)
-                    break
-                self._complete_put(state, target, outcome, runnable)
-            else:  # get
-                outcome = channel.offer_get(state.time)
-                if not outcome.complete:
-                    state.blocked_on = target
-                    self._trace.record(state.time, "block-get", name, target,
-                                       state.iteration)
-                    break
-                self._complete_get(state, target, outcome, runnable)
+        ops = proc.ops
+        args = proc.args
+        n = proc.n
+        channels = self.ir.channels
+        functional = self._functional
+        trace_on = self._trace_on
+        ch_latency = self._ch_latency
+        ch_buffered = self._ch_buffered
+        while True:
+            i = proc.index
+            op = ops[i]
+            if op == OP_COMPUTE:
+                if functional:
+                    produced = proc.behavior(proc.iteration, dict(proc.inputs))
+                    proc.outputs = dict(produced) if produced else {}
+                latency = proc.latency
+                proc.time += latency
+                proc.compute_cycles += latency
+                if trace_on:
+                    self._trace.record(proc.time, "compute", proc.name, None,
+                                       proc.iteration, duration=latency)
+            elif op == OP_PUT:
+                cid = args[i]
+                t = proc.time
+                payload = proc.outputs.get(channels[cid]) if functional else None
+                if ch_buffered[cid]:
+                    credits = self._credits[cid]
+                    if not credits:
+                        self._blocked_put[cid].append((t, payload))
+                        proc.blocked_on = cid
+                        if trace_on:
+                            self._trace.record(t, "block-put", proc.name,
+                                               channels[cid], proc.iteration)
+                        return
+                    credit_time = credits.popleft()
+                    start = t if t > credit_time else credit_time
+                    done = start + ch_latency[cid]
+                    self._items[cid].append((done, payload))
+                    self._transfers[cid] += 1
+                    # Anything between arrival and transfer start was
+                    # spent waiting.
+                    waited = start - t
+                    if waited > 0:
+                        proc.stall_by_cid[cid] += waited
+                    proc.time = done
+                    if trace_on:
+                        self._trace.record(done, "put", proc.name,
+                                           channels[cid], proc.iteration,
+                                           wait=waited)
+                    # The item is now queued; a consumer blocked on this
+                    # channel may proceed (after this statement advances,
+                    # in the common tail below).
+                else:
+                    pending_get = self._pending_get[cid]
+                    if not pending_get:
+                        self._pending_put[cid].append((t, payload))
+                        proc.blocked_on = cid
+                        if trace_on:
+                            self._trace.record(t, "block-put", proc.name,
+                                               channels[cid], proc.iteration)
+                        return
+                    # Rendezvous completes against the pending get.
+                    get_time = pending_get.popleft()
+                    start = t if t > get_time else get_time
+                    done = start + ch_latency[cid]
+                    self._transfers[cid] += 1
+                    waited = start - t
+                    if waited > 0:
+                        proc.stall_by_cid[cid] += waited
+                    proc.time = done
+                    if trace_on:
+                        self._trace.record(done, "put", proc.name,
+                                           channels[cid], proc.iteration,
+                                           wait=waited)
+                    self._step(proc, functional)
+                    # Resume the consumer that was waiting on its get.
+                    self._resume(self._procs[self._consumer_pid[cid]], cid,
+                                 done, start - get_time, "get", payload,
+                                 runnable, peer_is_consumer=True)
+                    if i + 1 == n:
+                        # Wrapped: iteration boundary reached.
+                        return
+                    continue
+            else:  # OP_GET
+                cid = args[i]
+                t = proc.time
+                if ch_buffered[cid]:
+                    items = self._items[cid]
+                    if not items:
+                        self._blocked_get[cid].append(t)
+                        proc.blocked_on = cid
+                        if trace_on:
+                            self._trace.record(t, "block-get", proc.name,
+                                               channels[cid], proc.iteration)
+                        return
+                    item_time, payload = items.popleft()
+                    done = t if t > item_time else item_time
+                    # The freed slot becomes available when the get
+                    # completes.
+                    self._credits[cid].append(done)
+                    waited = done - t
+                    if waited > 0:
+                        proc.stall_by_cid[cid] += waited
+                    proc.time = done
+                    if functional:
+                        proc.inputs[channels[cid]] = payload
+                        if proc.sink_list is not None and payload is not None:
+                            proc.sink_list.append(payload)
+                    if trace_on:
+                        self._trace.record(done, "get", proc.name,
+                                           channels[cid], proc.iteration,
+                                           wait=waited)
+                    # A credit was released; a producer blocked on it may
+                    # proceed (after this statement advances, in the
+                    # common tail below).
+                else:
+                    pending_put = self._pending_put[cid]
+                    if not pending_put:
+                        self._pending_get[cid].append(t)
+                        proc.blocked_on = cid
+                        if trace_on:
+                            self._trace.record(t, "block-get", proc.name,
+                                               channels[cid], proc.iteration)
+                        return
+                    put_time, payload = pending_put.popleft()
+                    start = t if t > put_time else put_time
+                    done = start + ch_latency[cid]
+                    self._transfers[cid] += 1
+                    waited = start - t
+                    if waited > 0:
+                        proc.stall_by_cid[cid] += waited
+                    proc.time = done
+                    if functional:
+                        proc.inputs[channels[cid]] = payload
+                        if proc.sink_list is not None and payload is not None:
+                            proc.sink_list.append(payload)
+                    if trace_on:
+                        self._trace.record(done, "get", proc.name,
+                                           channels[cid], proc.iteration,
+                                           wait=waited)
+                    self._step(proc, functional)
+                    # Resume the producer that was waiting on its put.
+                    self._resume(self._procs[self._producer_pid[cid]], cid,
+                                 done, start - put_time, "put", None,
+                                 runnable, peer_is_consumer=False)
+                    if i + 1 == n:
+                        # Wrapped: iteration boundary reached.
+                        return
+                    continue
+            # Advance past the completed statement (compute / buffered
+            # put / buffered get land here; rendezvous paths advance
+            # before resuming their peer and `continue` above).
+            i += 1
+            if i == n:
+                proc.index = 0
+                proc.iteration += 1
+                proc.completion_times.append(proc.time)
+                if functional:
+                    proc.inputs = {}
+                if op != OP_COMPUTE:
+                    self._wake(op, cid, runnable)
+                return
+            proc.index = i
+            if op != OP_COMPUTE:
+                self._wake(op, cid, runnable)
 
-    def _complete_put(self, state, channel_name, outcome, runnable) -> None:
-        """Finish a put whose transfer can complete now."""
-        channel = self._channels[channel_name]
-        consumer = self.system.channel(channel_name).consumer
-        # Transfer started at outcome.time - latency; anything between the
-        # producer's arrival and that start was spent waiting.
-        waited = max(0, outcome.time - state.time - channel.channel.latency)
-        state.stall(channel_name, waited)
-        state.time = outcome.time
-        self._trace.record(state.time, "put", state.name, channel_name,
-                           state.iteration, wait=waited)
-        state.advance_statement()
-        if channel.buffered:
-            # The item is now queued; a consumer blocked on this channel
-            # may proceed.
-            self._wake_blocked_get(channel_name, runnable)
+    def _step(self, proc: _Proc, functional: bool) -> None:
+        """Move past the current statement; wrap bumps the iteration."""
+        i = proc.index + 1
+        if i == proc.n:
+            proc.index = 0
+            proc.iteration += 1
+            proc.completion_times.append(proc.time)
+            if functional:
+                proc.inputs = {}
         else:
-            # Rendezvous completed against a pending get: resume the peer.
-            self._resume_peer_get(consumer, channel_name, outcome, runnable)
+            proc.index = i
 
-    def _complete_get(self, state, channel_name, outcome, runnable) -> None:
-        channel = self._channels[channel_name]
-        producer = self.system.channel(channel_name).producer
-        waited = max(0, outcome.time - state.time
-                     - (0 if channel.buffered else channel.channel.latency))
-        state.stall(channel_name, waited)
-        state.time = outcome.time
-        state.inputs[channel_name] = outcome.payload
-        self._record_sink_payload(state, channel_name, outcome.payload)
-        self._trace.record(state.time, "get", state.name, channel_name,
-                           state.iteration, wait=waited)
-        state.advance_statement()
-        if channel.buffered:
-            # A credit was released; a producer blocked on it may proceed.
-            self._wake_blocked_put(channel_name, runnable)
+    def _wake(self, op: int, cid: int, runnable: deque[int]) -> None:
+        """Post-completion wake-ups on a buffered channel."""
+        if op == OP_PUT:
+            self._wake_blocked_get(cid, runnable)
         else:
-            self._resume_peer_put(producer, channel_name, outcome, runnable)
+            self._wake_blocked_put(cid, runnable)
 
-    def _resume_peer_get(self, consumer, channel_name, outcome, runnable) -> None:
-        """A pending get was matched by this put: unblock the consumer."""
-        peer = self._processes[consumer]
-        if peer.blocked_on != channel_name:
-            raise SimulationError(
-                f"protocol violation on {channel_name!r}: consumer "
-                f"{consumer!r} was not waiting (blocked on {peer.blocked_on!r})"
+    def _resume(
+        self,
+        peer: _Proc,
+        cid: int,
+        done: int,
+        peer_wait: int,
+        kind: str,
+        payload: Any,
+        runnable: deque[int],
+        peer_is_consumer: bool,
+    ) -> None:
+        """A blocked peer's rendezvous completed: unblock and reschedule."""
+        if peer.blocked_on != cid:
+            channel_name = self.ir.channels[cid]
+            role = "consumer" if peer_is_consumer else "producer"
+            was = (
+                self.ir.channels[peer.blocked_on]
+                if peer.blocked_on >= 0 else None
             )
-        peer.stall(channel_name, outcome.peer_wait)
-        peer.time = outcome.time
-        peer.inputs[channel_name] = outcome.payload
-        self._record_sink_payload(peer, channel_name, outcome.payload)
-        peer.blocked_on = None
-        self._trace.record(peer.time, "get", consumer, channel_name,
-                           peer.iteration, wait=outcome.peer_wait)
-        peer.advance_statement()
-        runnable.append(consumer)
-
-    def _resume_peer_put(self, producer, channel_name, outcome, runnable) -> None:
-        peer = self._processes[producer]
-        if peer.blocked_on != channel_name:
             raise SimulationError(
-                f"protocol violation on {channel_name!r}: producer "
-                f"{producer!r} was not waiting (blocked on {peer.blocked_on!r})"
+                f"protocol violation on {channel_name!r}: {role} "
+                f"{peer.name!r} was not waiting (blocked on {was!r})"
             )
-        peer.stall(channel_name, outcome.peer_wait)
-        peer.time = outcome.time
-        peer.blocked_on = None
-        self._trace.record(peer.time, "put", producer, channel_name,
-                           peer.iteration, wait=outcome.peer_wait)
-        peer.advance_statement()
-        runnable.append(producer)
+        if peer_wait > 0:
+            peer.stall_by_cid[cid] += peer_wait
+        peer.time = done
+        if peer_is_consumer and self._functional:
+            peer.inputs[self.ir.channels[cid]] = payload
+            if peer.sink_list is not None and payload is not None:
+                peer.sink_list.append(payload)
+        peer.blocked_on = -1
+        if self._trace_on:
+            self._trace.record(done, kind, peer.name, self.ir.channels[cid],
+                               peer.iteration, wait=peer_wait)
+        self._step(peer, self._functional)
+        runnable.append(peer.pid)
 
-    def _wake_blocked_put(self, channel_name, runnable) -> None:
-        channel = self._channels[channel_name]
-        outcome = channel.resolve_blocked_put()
-        if outcome is None:
+    def _wake_blocked_put(self, cid: int, runnable: deque[int]) -> None:
+        """Try to complete the oldest blocked put after a credit release."""
+        blocked = self._blocked_put[cid]
+        credits = self._credits[cid]
+        if not blocked or not credits:
             return
-        producer = self.system.channel(channel_name).producer
-        peer = self._processes[producer]
-        if peer.blocked_on != channel_name:
+        t, payload = blocked.popleft()
+        credit_time = credits.popleft()
+        start = t if t > credit_time else credit_time
+        done = start + self._ch_latency[cid]
+        self._items[cid].append((done, payload))
+        self._transfers[cid] += 1
+        peer = self._procs[self._producer_pid[cid]]
+        if peer.blocked_on != cid:
             raise SimulationError(
-                f"protocol violation on {channel_name!r}: blocked put without "
-                f"a blocked producer"
+                f"protocol violation on {self.ir.channels[cid]!r}: blocked "
+                f"put without a blocked producer"
             )
-        peer.stall(channel_name, outcome.peer_wait)
-        peer.time = outcome.time
-        peer.blocked_on = None
-        self._trace.record(peer.time, "put", producer, channel_name,
-                           peer.iteration, wait=outcome.peer_wait)
-        peer.advance_statement()
-        runnable.append(producer)
+        peer_wait = start - t
+        if peer_wait > 0:
+            peer.stall_by_cid[cid] += peer_wait
+        peer.time = done
+        peer.blocked_on = -1
+        if self._trace_on:
+            self._trace.record(done, "put", peer.name, self.ir.channels[cid],
+                               peer.iteration, wait=peer_wait)
+        self._step(peer, self._functional)
+        runnable.append(peer.pid)
         # The item just queued may satisfy a blocked get in turn.
-        self._wake_blocked_get(channel_name, runnable)
+        self._wake_blocked_get(cid, runnable)
 
-    def _wake_blocked_get(self, channel_name, runnable) -> None:
-        channel = self._channels[channel_name]
-        outcome = channel.resolve_blocked_get()
-        if outcome is None:
+    def _wake_blocked_get(self, cid: int, runnable: deque[int]) -> None:
+        """Try to complete the oldest blocked get after an item arrival."""
+        blocked = self._blocked_get[cid]
+        items = self._items[cid]
+        if not blocked or not items:
             return
-        consumer = self.system.channel(channel_name).consumer
-        peer = self._processes[consumer]
-        if peer.blocked_on != channel_name:
+        t = blocked.popleft()
+        item_time, payload = items.popleft()
+        done = t if t > item_time else item_time
+        self._credits[cid].append(done)
+        peer = self._procs[self._consumer_pid[cid]]
+        if peer.blocked_on != cid:
             raise SimulationError(
-                f"protocol violation on {channel_name!r}: blocked get without "
-                f"a blocked consumer"
+                f"protocol violation on {self.ir.channels[cid]!r}: blocked "
+                f"get without a blocked consumer"
             )
-        peer.stall(channel_name, outcome.peer_wait)
-        peer.time = outcome.time
-        peer.inputs[channel_name] = outcome.payload
-        self._record_sink_payload(peer, channel_name, outcome.payload)
-        peer.blocked_on = None
-        self._trace.record(peer.time, "get", consumer, channel_name,
-                           peer.iteration, wait=outcome.peer_wait)
-        peer.advance_statement()
-        runnable.append(consumer)
+        peer_wait = done - t
+        if peer_wait > 0:
+            peer.stall_by_cid[cid] += peer_wait
+        peer.time = done
+        if self._functional:
+            peer.inputs[self.ir.channels[cid]] = payload
+            if peer.sink_list is not None and payload is not None:
+                peer.sink_list.append(payload)
+        peer.blocked_on = -1
+        if self._trace_on:
+            self._trace.record(done, "get", peer.name, self.ir.channels[cid],
+                               peer.iteration, wait=peer_wait)
+        self._step(peer, self._functional)
+        runnable.append(peer.pid)
         # A credit was released by that get: maybe another put can proceed.
-        self._wake_blocked_put(channel_name, runnable)
-
-    def _record_sink_payload(self, state: ProcessState, channel: str, payload) -> None:
-        if state.name in self._sink_payloads and payload is not None:
-            self._sink_payloads[state.name].append(payload)
+        self._wake_blocked_put(cid, runnable)
 
     # ------------------------------------------------------------------
 
     def _raise_deadlock(self) -> None:
         """Diagnose and raise the runtime deadlock: everyone is blocked."""
+        ir = self.ir
         waiting = {
-            name: state.blocked_on
-            for name, state in self._processes.items()
-            if state.blocked
+            proc.name: ir.channels[proc.blocked_on]
+            for proc in self._procs
+            if proc.blocked_on >= 0
         }
         # Wait-for edges: blocked process -> the peer of the channel.
         wait_for: dict[str, str] = {}
-        for name, channel_name in waiting.items():
-            channel = self.system.channel(channel_name)
-            peer = channel.consumer if channel.producer == name else channel.producer
-            wait_for[name] = peer
+        for proc in self._procs:
+            cid = proc.blocked_on
+            if cid < 0:
+                continue
+            peer_pid = (
+                ir.consumers[cid]
+                if ir.producers[cid] == proc.pid else ir.producers[cid]
+            )
+            wait_for[proc.name] = ir.processes[peer_pid]
         cycle = _find_wait_cycle(wait_for)
         detail = ", ".join(f"{p} on {c}" for p, c in sorted(waiting.items()))
         raise SimulationDeadlock(
@@ -377,28 +618,28 @@ class Simulator:
         )
 
     def _collect(self) -> SimulationResult:
+        ir = self.ir
         return SimulationResult(
-            iterations={n: s.iteration for n, s in self._processes.items()},
-            times={n: s.time for n, s in self._processes.items()},
+            iterations={p.name: p.iteration for p in self._procs},
+            times={p.name: p.time for p in self._procs},
             completion_times={
-                n: list(s.completion_times) for n, s in self._processes.items()
+                p.name: list(p.completion_times) for p in self._procs
             },
-            compute_cycles={n: s.compute_cycles for n, s in self._processes.items()},
-            stall_cycles={
-                n: s.total_stall_cycles() for n, s in self._processes.items()
-            },
+            compute_cycles={p.name: p.compute_cycles for p in self._procs},
+            stall_cycles={p.name: sum(p.stall_by_cid) for p in self._procs},
             channel_transfers={
-                n: c.transfers for n, c in self._channels.items()
+                name: self._transfers[cid]
+                for cid, name in enumerate(ir.channels)
             },
             sink_payloads={k: list(v) for k, v in self._sink_payloads.items()},
             trace=self._trace.events(),
             stall_breakdown={
-                n: row
-                for n, s in self._processes.items()
+                p.name: row
+                for p in self._procs
                 if (row := {
-                    ch: st.cycles
-                    for ch, st in s.stalls.items()
-                    if st.cycles
+                    ir.channels[cid]: cycles
+                    for cid, cycles in enumerate(p.stall_by_cid)
+                    if cycles
                 })
             },
         )

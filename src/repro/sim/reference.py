@@ -1,0 +1,355 @@
+"""The frozen pre-IR reference simulator (differential-testing oracle).
+
+This module preserves the original interpretive discrete-event engine
+exactly as it was before :class:`repro.sim.engine.Simulator` was
+refactored to execute the lowered IR's integer arrays: it walks
+``ordering.statements_of(...)`` chains with string comparisons and
+name-keyed dict lookups, one :class:`~repro.sim.process.ProcessState` per
+process and one :class:`~repro.sim.channel.ChannelState` per channel.
+
+It exists for two reasons:
+
+* **differential testing** — ``tests/ir`` and the Hypothesis properties
+  run both engines on the same systems and assert bit-identical
+  :class:`~repro.sim.engine.SimulationResult`\\ s (the refactor's
+  acceptance criterion);
+* **benchmark baseline** — ``benchmarks/test_bench_ir.py`` measures the
+  IR engine's speedup against this engine on identical workloads.
+
+Do not optimize this module; its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.errors import SimulationDeadlock, SimulationError
+from repro.sim.channel import ChannelState
+from repro.sim.engine import SimulationResult, _find_wait_cycle
+from repro.sim.process import Behavior, ProcessState
+from repro.sim.trace import TraceRecorder, TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+
+class ReferenceSimulator:
+    """The pre-IR chain-walking simulator; see the module docstring.
+
+    Same constructor, :meth:`run` contract, results, and raised errors as
+    :class:`repro.sim.engine.Simulator`.
+    """
+
+    def __init__(
+        self,
+        system: SystemGraph,
+        ordering: ChannelOrdering | None = None,
+        behaviors: Mapping[str, Behavior] | None = None,
+        process_latencies: Mapping[str, int] | None = None,
+        initial_payloads: Mapping[str, tuple[Any, ...]] | None = None,
+        record_trace: bool = False,
+        sinks: Sequence[TraceSink] = (),
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        from repro.lint import preflight
+
+        self.system = system
+        self.ordering = ordering or ChannelOrdering.declaration_order(system)
+        preflight(system, self.ordering)
+        behaviors = behaviors or {}
+        overrides = dict(process_latencies or {})
+        payloads = initial_payloads or {}
+
+        self._channels: dict[str, ChannelState] = {
+            c.name: ChannelState(c, initial_payloads=tuple(payloads.get(c.name, ())))
+            for c in system.channels
+        }
+        self._processes: dict[str, ProcessState] = {}
+        for p in system.processes:
+            state = ProcessState(
+                name=p.name,
+                chain=self.ordering.statements_of(p.name),
+                latency=overrides.get(p.name, p.latency),
+            )
+            behavior = behaviors.get(p.name)
+            if behavior is not None:
+                state.behavior = behavior
+            self._processes[p.name] = state
+        self._trace = TraceRecorder(enabled=record_trace, sinks=sinks)
+        self._metrics = metrics
+        self._sink_payloads: dict[str, list[Any]] = {
+            p.name: [] for p in system.sinks()
+        }
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        iterations: int = 64,
+        watch: str | None = None,
+        max_steps: int | None = None,
+    ) -> SimulationResult:
+        """Run until the watched process completes ``iterations`` loops."""
+        if iterations < 1:
+            raise SimulationError("iterations must be >= 1")
+        watch = watch or self._default_watch()
+        if watch not in self._processes:
+            raise SimulationError(f"unknown watch process {watch!r}")
+        budget = max_steps or (
+            40 * (iterations + 4) * (len(self._processes) + len(self._channels)) + 1000
+        )
+
+        runnable: deque[str] = deque(self._processes)
+        steps = 0
+        while self._processes[watch].iteration < iterations:
+            if not runnable:
+                self._raise_deadlock()
+            steps += 1
+            if steps > budget:
+                raise SimulationError(
+                    f"simulation exceeded its step budget ({budget}); "
+                    "raise max_steps for very long transients"
+                )
+            name = runnable.popleft()
+            self._advance(name, runnable)
+            if not self._processes[name].blocked:
+                # The process stopped at an iteration boundary, not on a
+                # channel: keep it runnable (round-robin fairness).
+                runnable.append(name)
+        result = self._collect()
+        if self._metrics is not None:
+            self._record_metrics(result, steps)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _default_watch(self) -> str:
+        sinks = self.system.sinks()
+        if sinks:
+            return sinks[0].name
+        return self.system.process_names[0]
+
+    def _advance(self, name: str, runnable: deque[str]) -> None:
+        """Run one process until it blocks (or completes a full loop)."""
+        state = self._processes[name]
+        if state.blocked:
+            return
+        start_iteration = state.iteration
+        while state.iteration == start_iteration and not state.blocked:
+            kind, target = state.current
+            if kind == "compute":
+                state.run_behavior()
+                state.time += state.latency
+                state.compute_cycles += state.latency
+                self._trace.record(state.time, "compute", name, None,
+                                   state.iteration, duration=state.latency)
+                state.advance_statement()
+                continue
+            channel = self._channels[target]
+            if kind == "put":
+                payload = state.outputs.get(target)
+                outcome = channel.offer_put(state.time, payload)
+                if not outcome.complete:
+                    state.blocked_on = target
+                    self._trace.record(state.time, "block-put", name, target,
+                                       state.iteration)
+                    break
+                self._complete_put(state, target, outcome, runnable)
+            else:  # get
+                outcome = channel.offer_get(state.time)
+                if not outcome.complete:
+                    state.blocked_on = target
+                    self._trace.record(state.time, "block-get", name, target,
+                                       state.iteration)
+                    break
+                self._complete_get(state, target, outcome, runnable)
+
+    def _complete_put(self, state, channel_name, outcome, runnable) -> None:
+        """Finish a put whose transfer can complete now."""
+        channel = self._channels[channel_name]
+        consumer = self.system.channel(channel_name).consumer
+        # Transfer started at outcome.time - latency; anything between the
+        # producer's arrival and that start was spent waiting.
+        waited = max(0, outcome.time - state.time - channel.channel.latency)
+        state.stall(channel_name, waited)
+        state.time = outcome.time
+        self._trace.record(state.time, "put", state.name, channel_name,
+                           state.iteration, wait=waited)
+        state.advance_statement()
+        if channel.buffered:
+            # The item is now queued; a consumer blocked on this channel
+            # may proceed.
+            self._wake_blocked_get(channel_name, runnable)
+        else:
+            # Rendezvous completed against a pending get: resume the peer.
+            self._resume_peer_get(consumer, channel_name, outcome, runnable)
+
+    def _complete_get(self, state, channel_name, outcome, runnable) -> None:
+        channel = self._channels[channel_name]
+        producer = self.system.channel(channel_name).producer
+        waited = max(0, outcome.time - state.time
+                     - (0 if channel.buffered else channel.channel.latency))
+        state.stall(channel_name, waited)
+        state.time = outcome.time
+        state.inputs[channel_name] = outcome.payload
+        self._record_sink_payload(state, channel_name, outcome.payload)
+        self._trace.record(state.time, "get", state.name, channel_name,
+                           state.iteration, wait=waited)
+        state.advance_statement()
+        if channel.buffered:
+            # A credit was released; a producer blocked on it may proceed.
+            self._wake_blocked_put(channel_name, runnable)
+        else:
+            self._resume_peer_put(producer, channel_name, outcome, runnable)
+
+    def _resume_peer_get(self, consumer, channel_name, outcome, runnable) -> None:
+        """A pending get was matched by this put: unblock the consumer."""
+        peer = self._processes[consumer]
+        if peer.blocked_on != channel_name:
+            raise SimulationError(
+                f"protocol violation on {channel_name!r}: consumer "
+                f"{consumer!r} was not waiting (blocked on {peer.blocked_on!r})"
+            )
+        peer.stall(channel_name, outcome.peer_wait)
+        peer.time = outcome.time
+        peer.inputs[channel_name] = outcome.payload
+        self._record_sink_payload(peer, channel_name, outcome.payload)
+        peer.blocked_on = None
+        self._trace.record(peer.time, "get", consumer, channel_name,
+                           peer.iteration, wait=outcome.peer_wait)
+        peer.advance_statement()
+        runnable.append(consumer)
+
+    def _resume_peer_put(self, producer, channel_name, outcome, runnable) -> None:
+        peer = self._processes[producer]
+        if peer.blocked_on != channel_name:
+            raise SimulationError(
+                f"protocol violation on {channel_name!r}: producer "
+                f"{producer!r} was not waiting (blocked on {peer.blocked_on!r})"
+            )
+        peer.stall(channel_name, outcome.peer_wait)
+        peer.time = outcome.time
+        peer.blocked_on = None
+        self._trace.record(peer.time, "put", producer, channel_name,
+                           peer.iteration, wait=outcome.peer_wait)
+        peer.advance_statement()
+        runnable.append(producer)
+
+    def _wake_blocked_put(self, channel_name, runnable) -> None:
+        channel = self._channels[channel_name]
+        outcome = channel.resolve_blocked_put()
+        if outcome is None:
+            return
+        producer = self.system.channel(channel_name).producer
+        peer = self._processes[producer]
+        if peer.blocked_on != channel_name:
+            raise SimulationError(
+                f"protocol violation on {channel_name!r}: blocked put without "
+                f"a blocked producer"
+            )
+        peer.stall(channel_name, outcome.peer_wait)
+        peer.time = outcome.time
+        peer.blocked_on = None
+        self._trace.record(peer.time, "put", producer, channel_name,
+                           peer.iteration, wait=outcome.peer_wait)
+        peer.advance_statement()
+        runnable.append(producer)
+        # The item just queued may satisfy a blocked get in turn.
+        self._wake_blocked_get(channel_name, runnable)
+
+    def _wake_blocked_get(self, channel_name, runnable) -> None:
+        channel = self._channels[channel_name]
+        outcome = channel.resolve_blocked_get()
+        if outcome is None:
+            return
+        consumer = self.system.channel(channel_name).consumer
+        peer = self._processes[consumer]
+        if peer.blocked_on != channel_name:
+            raise SimulationError(
+                f"protocol violation on {channel_name!r}: blocked get without "
+                f"a blocked consumer"
+            )
+        peer.stall(channel_name, outcome.peer_wait)
+        peer.time = outcome.time
+        peer.inputs[channel_name] = outcome.payload
+        self._record_sink_payload(peer, channel_name, outcome.payload)
+        peer.blocked_on = None
+        self._trace.record(peer.time, "get", consumer, channel_name,
+                           peer.iteration, wait=outcome.peer_wait)
+        peer.advance_statement()
+        runnable.append(consumer)
+        # A credit was released by that get: maybe another put can proceed.
+        self._wake_blocked_put(channel_name, runnable)
+
+    def _record_sink_payload(self, state: ProcessState, channel: str, payload) -> None:
+        if state.name in self._sink_payloads and payload is not None:
+            self._sink_payloads[state.name].append(payload)
+
+    # ------------------------------------------------------------------
+
+    def _raise_deadlock(self) -> None:
+        """Diagnose and raise the runtime deadlock: everyone is blocked."""
+        waiting = {
+            name: state.blocked_on
+            for name, state in self._processes.items()
+            if state.blocked
+        }
+        # Wait-for edges: blocked process -> the peer of the channel.
+        wait_for: dict[str, str] = {}
+        for name, channel_name in waiting.items():
+            channel = self.system.channel(channel_name)
+            peer = channel.consumer if channel.producer == name else channel.producer
+            wait_for[name] = peer
+        cycle = _find_wait_cycle(wait_for)
+        detail = ", ".join(f"{p} on {c}" for p, c in sorted(waiting.items()))
+        raise SimulationDeadlock(
+            f"simulation deadlock: all runnable processes are blocked ({detail})",
+            cycle=cycle,
+            waiting=waiting,
+        )
+
+    def _collect(self) -> SimulationResult:
+        return SimulationResult(
+            iterations={n: s.iteration for n, s in self._processes.items()},
+            times={n: s.time for n, s in self._processes.items()},
+            completion_times={
+                n: list(s.completion_times) for n, s in self._processes.items()
+            },
+            compute_cycles={n: s.compute_cycles for n, s in self._processes.items()},
+            stall_cycles={
+                n: s.total_stall_cycles() for n, s in self._processes.items()
+            },
+            channel_transfers={
+                n: c.transfers for n, c in self._channels.items()
+            },
+            sink_payloads={k: list(v) for k, v in self._sink_payloads.items()},
+            trace=self._trace.events(),
+            stall_breakdown={
+                n: row
+                for n, s in self._processes.items()
+                if (row := {
+                    ch: st.cycles
+                    for ch, st in s.stalls.items()
+                    if st.cycles
+                })
+            },
+        )
+
+    def _record_metrics(self, result: SimulationResult, steps: int) -> None:
+        """End-of-run aggregates under the stable ``sim.*`` metric names."""
+        metrics = self._metrics
+        assert metrics is not None
+        metrics.counter("sim.runs").add(1)
+        metrics.counter("sim.steps").add(steps)
+        metrics.counter("sim.iterations").add(sum(result.iterations.values()))
+        metrics.counter("sim.transfers").add(
+            sum(result.channel_transfers.values())
+        )
+        metrics.counter("sim.compute_cycles").add(
+            sum(result.compute_cycles.values())
+        )
+        metrics.counter("sim.stall_cycles").add(
+            sum(result.stall_cycles.values())
+        )

@@ -25,7 +25,9 @@ parallel edge can be binding, so :func:`build_event_graph` collapses them.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
+from repro.ir import OP_COMPUTE, OP_GET, LoweredIR
 from repro.tmg.graph import TimedMarkedGraph
 
 
@@ -87,6 +89,106 @@ def build_event_graph(tmg: TimedMarkedGraph) -> EventGraph:
     for edge in best.values():
         succ[edge.source].append(edge)
     return EventGraph(nodes=tmg.transition_names, succ=succ)
+
+
+def event_graph_from_ir(
+    ir: LoweredIR, process_latencies: Mapping[str, int]
+) -> EventGraph:
+    """Contract a :class:`~repro.ir.LoweredIR` straight to an event graph.
+
+    Skips materializing the intermediate :class:`TimedMarkedGraph`: the
+    IR's integer tables already carry everything the contraction needs.
+    Node order, edge order, names, and the minimum-token parallel-place
+    collapse replicate ``build_event_graph(build_tmg(...).tmg)`` exactly,
+    so maximum-cycle-ratio results (including which cycle is reported as
+    critical) are bit-identical to the TMG route.
+
+    Args:
+        ir: The lowered system.
+        process_latencies: Effective computation latency per process name
+            (the IR is latency-free; see ``repro.ir.program``).
+    """
+    # Transitions, in TMG insertion order, with their firing delays.
+    nodes: list[str] = []
+    delay: dict[str, int] = {}
+    channel_nodes: list[tuple[str, str]] = []  # (put-side, get-side) per cid
+    for cid, channel in enumerate(ir.channels):
+        if not ir.buffered[cid]:
+            name = "ch:" + channel
+            nodes.append(name)
+            delay[name] = ir.channel_latencies[cid]
+            channel_nodes.append((name, name))
+        else:
+            put_name = "ch:" + channel + ".put"
+            get_name = "ch:" + channel + ".get"
+            nodes.extend((put_name, get_name))
+            delay[put_name] = ir.channel_latencies[cid]
+            delay[get_name] = 0
+            channel_nodes.append((put_name, get_name))
+    process_nodes: list[str] = []
+    for process in ir.processes:
+        name = "proc:" + process
+        nodes.append(name)
+        delay[name] = process_latencies[process]
+        process_nodes.append(name)
+
+    # Places, in TMG insertion order, collapsed to min-token edges.
+    best: dict[tuple[str, str], Edge] = {}
+
+    def _add(place: str, source: str, target: str, tokens: int) -> None:
+        edge = Edge(
+            source=source,
+            target=target,
+            tokens=tokens,
+            delay=delay[target],
+            place=place,
+        )
+        current = best.get(edge.key)
+        if current is None or edge.tokens < current.tokens:
+            best[edge.key] = edge
+
+    for cid, channel in enumerate(ir.channels):
+        if ir.buffered[cid]:
+            put_name, get_name = channel_nodes[cid]
+            initial = ir.initial_tokens[cid]
+            _add(f"{channel}/data", put_name, get_name, initial)
+            _add(
+                f"{channel}/credit",
+                get_name,
+                put_name,
+                ir.effective_capacities[cid] - initial,
+            )
+    for pid, process in enumerate(ir.processes):
+        kinds = ir.op_kinds[pid]
+        args = ir.op_args[pid]
+        transitions: list[str] = []
+        places: list[str] = []
+        for op, arg in zip(kinds, args):
+            if op == OP_COMPUTE:
+                transitions.append(process_nodes[pid])
+                places.append(f"{process}/comp")
+            else:
+                put_name, get_name = channel_nodes[arg]
+                if op == OP_GET:
+                    transitions.append(get_name)
+                    places.append(f"{process}/get:{ir.channels[arg]}")
+                else:
+                    transitions.append(put_name)
+                    places.append(f"{process}/put:{ir.channels[arg]}")
+        first_marked = ir.first_marked[pid]
+        n = len(kinds)
+        for i in range(n):
+            _add(
+                places[i],
+                transitions[(i - 1) % n],
+                transitions[i],
+                1 if i == first_marked else 0,
+            )
+
+    succ: dict[str, list[Edge]] = {name: [] for name in nodes}
+    for edge in best.values():
+        succ[edge.source].append(edge)
+    return EventGraph(nodes=tuple(nodes), succ=succ)
 
 
 def strongly_connected_components(graph: EventGraph) -> list[list[str]]:

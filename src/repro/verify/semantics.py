@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Iterator, NamedTuple
 
 from repro.core.system import ChannelOrdering, SystemGraph
+from repro.ir import OP_GET, LoweredIR, lower
 
 #: A verification state: per-process communication-statement indices (in
 #: the order of :attr:`TransitionSystem.process_names`) followed by
@@ -69,8 +70,9 @@ class CommStatement:
     """One communication statement of a process's projected chain.
 
     ``chain_index`` is the 0-based position in the *full* statement chain
-    (gets, compute, puts — :meth:`ChannelOrdering.statements_of`), kept so
-    witnesses report the same statement numbering the lint witnesses use.
+    (gets, compute, puts — the :class:`~repro.ir.program.LoweredIR` op
+    order), kept so witnesses report the same statement numbering the
+    lint witnesses use.
     """
 
     kind: str  # "get" | "put"
@@ -89,22 +91,31 @@ class TransitionSystem:
     def __init__(self, system: SystemGraph, ordering: ChannelOrdering | None = None):
         self.system = system
         self.ordering = ordering or ChannelOrdering.declaration_order(system)
-        self.ordering.validate(system)
+        #: The lowered program this transition system interprets.  The
+        #: chains below are a direct decoding of its op arrays — the
+        #: verifier no longer re-derives statement orders from the raw
+        #: ordering, so sim, TMG, and verify all read one compilation.
+        self.ir: LoweredIR = lower(system, self.ordering)
+        ir = self.ir
 
         #: Projected communication chains, only for processes that have one.
         self.chains: dict[str, tuple[CommStatement, ...]] = {}
         #: Full-chain lengths (for witness ``index/total`` reporting).
         self.chain_totals: dict[str, int] = {}
-        for process in system.process_names:
-            full = self.ordering.statements_of(process)
+        for pid, process in enumerate(ir.processes):
+            kinds = ir.op_kinds[pid]
+            args = ir.op_args[pid]
             comm = tuple(
-                CommStatement(kind=kind, channel=target, chain_index=i)
-                for i, (kind, target) in enumerate(full)
-                if kind in ("get", "put")
+                CommStatement(
+                    kind="get" if kinds[i] == OP_GET else "put",
+                    channel=ir.channels[args[i]],
+                    chain_index=i,
+                )
+                for i in ir.comm_indices[pid]
             )
             if comm:
                 self.chains[process] = comm
-                self.chain_totals[process] = len(full)
+                self.chain_totals[process] = len(kinds)
 
         self.process_names: tuple[str, ...] = tuple(self.chains)
         self._process_slot: dict[str, int] = {
@@ -113,25 +124,29 @@ class TransitionSystem:
 
         #: Buffered channels carry an occupancy dimension; rendezvous
         #: channels are pure synchronizations with no state of their own.
+        buffered_cids = tuple(
+            cid for cid in range(ir.n_channels) if ir.buffered[cid]
+        )
         self.buffered_names: tuple[str, ...] = tuple(
-            c.name for c in system.channels if c.is_buffered
+            ir.channels[cid] for cid in buffered_cids
         )
         self._buffer_slot: dict[str, int] = {
             name: i for i, name in enumerate(self.buffered_names)
         }
         self._capacity: dict[str, int] = {
-            c.name: c.effective_capacity
-            for c in system.channels
-            if c.is_buffered
+            ir.channels[cid]: ir.effective_capacities[cid]
+            for cid in buffered_cids
         }
         self._initial_tokens: tuple[int, ...] = tuple(
-            system.channel(name).initial_tokens for name in self.buffered_names
+            ir.initial_tokens[cid] for cid in buffered_cids
         )
         self._producer: dict[str, str] = {
-            c.name: c.producer for c in system.channels
+            name: ir.processes[ir.producers[cid]]
+            for cid, name in enumerate(ir.channels)
         }
         self._consumer: dict[str, str] = {
-            c.name: c.consumer for c in system.channels
+            name: ir.processes[ir.consumers[cid]]
+            for cid, name in enumerate(ir.channels)
         }
 
     # ------------------------------------------------------------------

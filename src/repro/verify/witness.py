@@ -102,23 +102,24 @@ def _refusal_statement(
 ) -> BlockedStatement:
     """Why ``server`` does not serve ``waited_channel``: it insists on
     completing ``busy_channel`` (its current statement) first."""
-    ordering = ts.ordering
-    gets = ordering.gets_of(server)
-    puts = ordering.puts_of(server)
+    chain = ts.chains[server]
+    gets = [s.channel for s in chain if s.kind == "get"]
     if waited_channel in gets:
         kind = "get"
         position, count = gets.index(waited_channel) + 1, len(gets)
     else:
         kind = "put"
+        puts = [s.channel for s in chain if s.kind == "put"]
         position, count = puts.index(waited_channel) + 1, len(puts)
-    full_chain = ordering.statements_of(server)
-    index = full_chain.index((kind, waited_channel)) + 1
+    statement = next(
+        s for s in chain if s.kind == kind and s.channel == waited_channel
+    )
     return BlockedStatement(
         process=server,
         kind=kind,
         channel=waited_channel,
-        index=index,
-        total=len(full_chain),
+        index=statement.chain_index + 1,
+        total=ts.chain_totals[server],
         position=position,
         count=count,
         waits_for=busy_channel,

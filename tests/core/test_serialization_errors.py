@@ -159,3 +159,22 @@ class TestRoundTrip:
         clone = ordering_from_dict(json.loads(wire))
         assert clone == ordering
         clone.validate(system)
+
+
+class TestWriteErrors:
+    """Writers share the loaders' ValidationError contract."""
+
+    def test_save_system_unwritable_path(self, tiny_pipeline):
+        from repro.core.serialization import save_system
+
+        with pytest.raises(ValidationError, match="cannot write system"):
+            save_system(tiny_pipeline, "/nonexistent/dir/system.json")
+
+    def test_save_ordering_unwritable_path(self, tiny_pipeline):
+        from repro.core.serialization import save_ordering
+
+        with pytest.raises(ValidationError, match="cannot write ordering"):
+            save_ordering(
+                declaration_ordering(tiny_pipeline),
+                "/nonexistent/dir/ordering.json",
+            )

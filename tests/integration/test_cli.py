@@ -113,3 +113,84 @@ class TestCli:
 
     def test_bottlenecks_top(self, system_file, capsys):
         assert main(["bottlenecks", system_file, "--top", "2"]) == 0
+
+
+class TestIr:
+    def test_ir_text(self, system_file, capsys):
+        assert main(["ir", system_file]) == 0
+        out = capsys.readouterr().out
+        assert "structural hash:" in out
+        assert "rendezvous" in out
+
+    def test_ir_json_roundtrips(self, system_file, capsys):
+        import json
+
+        assert main(["ir", system_file, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["structural_hash"]) == 64
+        assert {p["name"] for p in doc["processes"]} >= {"Psrc", "Psnk"}
+        assert all("program" in p for p in doc["processes"])
+
+    def test_ir_hash_matches_library(self, system_file, capsys):
+        import json
+
+        from repro.core import load_system
+        from repro.ir import lower
+
+        assert main(["ir", system_file, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["structural_hash"] == (
+            lower(load_system(system_file)).structural_hash
+        )
+
+    def test_ir_writes_file(self, system_file, tmp_path, capsys):
+        out_path = tmp_path / "ir.txt"
+        assert main(["ir", system_file, "-o", str(out_path)]) == 0
+        assert "structural hash:" in out_path.read_text()
+
+    def test_ir_invalid_ordering_exits_2(self, system_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["ir", system_file, "--ordering", str(bad)]) == 2
+
+
+class TestOutputErrors:
+    """Unwritable -o destinations exit 2 with a coded error, no traceback."""
+
+    def test_order_output_failure_exits_2(self, system_file, capsys):
+        assert main(
+            ["order", system_file, "-o", "/nonexistent/dir/ord.json"]
+        ) == 2
+        assert "cannot write ordering file" in capsys.readouterr().err
+
+    def test_report_output_failure_exits_2(self, system_file, capsys):
+        assert main(
+            ["report", system_file, "--no-sensitivity", "--no-stalls",
+             "-o", "/nonexistent/dir/report.md"]
+        ) == 2
+        assert "cannot write report file" in capsys.readouterr().err
+
+    def test_trace_output_failure_exits_2(self, system_file, capsys):
+        assert main(
+            ["trace", system_file, "--iterations", "5",
+             "-o", "/nonexistent/dir/trace.json"]
+        ) == 2
+        assert "cannot write trace file" in capsys.readouterr().err
+
+    def test_dot_output_failure_exits_2(self, system_file, capsys):
+        assert main(
+            ["dot", system_file, "-o", "/nonexistent/dir/graph.dot"]
+        ) == 2
+        assert "cannot write dot file" in capsys.readouterr().err
+
+    def test_report_invalid_system_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format_version": 1}')
+        assert main(["report", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_invalid_system_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert main(["trace", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

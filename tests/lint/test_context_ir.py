@@ -1,0 +1,25 @@
+"""LintContext serves the lowered IR and its hash as shared cache keys."""
+
+from repro.core import ChannelOrdering
+from repro.ir import lower
+from repro.lint import LintContext
+from repro.perf.fingerprint import structure_fingerprint
+
+
+class TestContextIr:
+    def test_ir_is_the_shared_lowering(self, motivating):
+        context = LintContext(motivating)
+        assert context.ir() is lower(motivating)
+        assert context.ir() is context.ir()
+
+    def test_ir_hash_equals_the_perf_fingerprint(self, motivating):
+        context = LintContext(motivating)
+        assert context.ir_hash() == structure_fingerprint(
+            motivating, ChannelOrdering.declaration_order(motivating)
+        )
+
+    def test_unsound_configuration_has_no_ir(self, motivating):
+        broken = ChannelOrdering(gets={"P6": ("d", "e")}, puts={})
+        context = LintContext(motivating, broken)
+        assert context.ir() is None
+        assert context.ir_hash() is None

@@ -52,3 +52,83 @@ class TestExplorer:
             _config(feedback_system)
         )
         assert result.final is not None
+
+
+class TestPreflightMemo:
+    """Successful default-registry pre-flights are served from the memo."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh(self):
+        from repro.lint import clear_preflight_cache
+
+        clear_preflight_cache()
+        yield
+        clear_preflight_cache()
+
+    def test_second_run_skips_the_rules(self, feedback_system, monkeypatch):
+        import repro.lint as lint
+
+        preflight = lint.preflight
+        preflight(feedback_system)
+        calls = []
+        monkeypatch.setattr(
+            lint,
+            "lint_system",
+            lambda *a, **k: calls.append(1) or (_ for _ in ()).throw(
+                AssertionError("memoized pre-flight re-ran the rules")
+            ),
+        )
+        preflight(feedback_system)
+        assert not calls
+
+    def test_failures_are_never_memoized(self, token_free_ring):
+        from repro.lint import preflight
+
+        with pytest.raises(LintError):
+            preflight(token_free_ring)
+        with pytest.raises(LintError):
+            preflight(token_free_ring)
+
+    def test_unknown_process_ordering_is_not_memoized(self, feedback_system):
+        from repro.core import ChannelOrdering
+        from repro.lint import preflight
+
+        declaration = ChannelOrdering.declaration_order(feedback_system)
+        # A valid pass first, so an aliasing bug would wrongly hit.
+        preflight(feedback_system, declaration)
+        haunted = ChannelOrdering(
+            gets={**declaration.gets, "ghost": ("i",)},
+            puts=dict(declaration.puts),
+        )
+        with pytest.raises(LintError) as excinfo:
+            preflight(feedback_system, haunted)
+        assert "ERM108" in excinfo.value.rule_codes
+
+    def test_custom_registry_is_not_memoized(self, feedback_system):
+        from repro.lint import preflight
+        from repro.lint.registry import default_registry
+
+        preflight(feedback_system)
+        # A custom registry with no rules accepts everything; it must not
+        # pollute (or read) the default-registry memo.
+        preflight(feedback_system, registry=default_registry())
+
+    def test_latency_change_shares_the_memo_entry(
+        self, feedback_system, monkeypatch
+    ):
+        import repro.lint as lint
+
+        lint.preflight(feedback_system)
+        faster = feedback_system.with_process_latencies(
+            {p.name: 1 for p in feedback_system.processes}
+        )
+        calls = []
+        monkeypatch.setattr(
+            lint,
+            "lint_system",
+            lambda *a, **k: calls.append(1) or (_ for _ in ()).throw(
+                AssertionError("latency-only change missed the memo")
+            ),
+        )
+        lint.preflight(faster)
+        assert not calls
