@@ -13,6 +13,7 @@ Examples::
     ermes check design.json --ordering ord.json
     ermes verify design.json --budget-states 200000
     ermes simulate design.json --iterations 200
+    ermes simulate design.json --batch 16   # vectorized what-if lanes
     ermes trace design.json --format perfetto -o trace.json
     ermes profile design.json --json   # instrumented DSE run
     ermes mpeg2 --experiment m1        # Section 6 experiments
@@ -323,8 +324,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     system = load_system(args.system)
     ordering = _load_ordering_arg(system, args.ordering)
-    result = simulate(system, ordering, iterations=args.iterations)
     watch = system.sinks()[0].name if system.sinks() else system.process_names[0]
+    if args.batch is not None:
+        return _simulate_batch_cli(system, ordering, watch, args)
+    result = simulate(system, ordering, iterations=args.iterations)
     measured = result.measured_cycle_time(watch)
     print(f"iterations:   {result.iterations[watch]} (watched: {watch})")
     print(f"measured cycle time: {measured}")
@@ -334,6 +337,50 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         result.stall_cycles.items(), key=lambda item: -item[1]
     )[:5]
     print("top stalls: " + ", ".join(f"{p}={c}" for p, c in stalled if c))
+    return 0
+
+
+def _simulate_batch_cli(system, ordering, watch: str, args) -> int:
+    """``ermes simulate --batch N``: lane 0 is the declared system, lanes
+    1..N-1 sweep uniformly scaled-down process latencies (a what-if over
+    faster implementations), all advanced in one lock-step run and
+    cross-checked against the scalar engine."""
+    from repro.errors import ValidationError
+    from repro.sim import BatchLane, Simulator, simulate_batch
+
+    n_lanes = args.batch
+    if n_lanes < 1:
+        raise ValidationError("--batch needs at least one lane")
+    base = system.process_latencies()
+    lanes = [BatchLane()]
+    for k in range(1, n_lanes):
+        scale_num = n_lanes - k
+        lanes.append(
+            BatchLane(
+                process_latencies={
+                    name: max(0, latency * scale_num // n_lanes)
+                    for name, latency in base.items()
+                }
+            )
+        )
+    results = simulate_batch(
+        system, lanes, ordering, iterations=args.iterations, watch=watch
+    )
+    print(f"batch: {len(lanes)} lanes, watched: {watch}")
+    for k, result in enumerate(results):
+        label = "declared" if k == 0 else f"latencies x{n_lanes - k}/{n_lanes}"
+        print(
+            f"  lane {k:>2} ({label}): iterations "
+            f"{result.iterations[watch]}, measured cycle time "
+            f"{result.measured_cycle_time(watch)}"
+        )
+    check = Simulator(system, ordering).run(
+        iterations=args.iterations, watch=watch
+    )
+    if results[0] != check:
+        print("cross-check: FAILED (batch lane 0 != scalar engine)")
+        return 2
+    print("cross-check: lane 0 bit-identical to the scalar engine")
     return 0
 
 
@@ -801,6 +848,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("system")
     p.add_argument("--ordering")
     p.add_argument("--iterations", type=int, default=100)
+    p.add_argument("--batch", type=int, nargs="?", const=8, default=None,
+                   metavar="N",
+                   help="vectorized batch run: N lanes (default 8) over one "
+                        "compiled structure — lane 0 is the declared system, "
+                        "the rest sweep scaled-down process latencies; lane 0 "
+                        "is cross-checked against the scalar engine")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(

@@ -209,6 +209,41 @@ class SystemGraph:
             raise ValidationError(f"unknown process {process.name!r}")
         self._processes[process.name] = process
 
+    def replace_channel(self, channel: Channel) -> None:
+        """Swap a channel definition in place (same name and endpoints).
+
+        Only the scalar attributes (latency, capacity, initial tokens) may
+        change: the declaration-order port lists are keyed by endpoints, so
+        rerouting a channel would desynchronize them.
+        """
+        existing = self.channel(channel.name)
+        if (channel.producer, channel.consumer) != (
+            existing.producer,
+            existing.consumer,
+        ):
+            raise ValidationError(
+                f"channel {channel.name!r}: replace_channel cannot change "
+                f"endpoints ({existing.producer}->{existing.consumer} vs "
+                f"{channel.producer}->{channel.consumer})"
+            )
+        self._channels[channel.name] = channel
+
+    def with_channel_capacities(
+        self, capacities: Mapping[str, int]
+    ) -> "SystemGraph":
+        """Return a copy of this system with some channel capacities replaced.
+
+        Unspecified channels keep their declared capacity.  This is how a
+        buffer-sizing or batched-simulation step applies candidate FIFO
+        depths without mutating the original model.
+        """
+        clone = self.copy()
+        for name, capacity in capacities.items():
+            existing = clone.channel(name)
+            if capacity != existing.capacity:
+                clone.replace_channel(replace(existing, capacity=capacity))
+        return clone
+
     def with_process_latencies(self, latencies: Mapping[str, int]) -> "SystemGraph":
         """Return a copy of this system with some process latencies replaced.
 

@@ -91,6 +91,13 @@ class ExplorationResult:
     final_index: int = -1
     stop_reason: str = ""
     cache_stats: dict[str, dict[str, int | float]] | None = None
+    #: Simulated steady-state cycle time per history index, from the
+    #: batched cross-validation pass (``batch=True`` /
+    #: ``ERMES_SIM_BATCH``): every visited configuration replayed through
+    #: one vectorized :class:`repro.sim.BatchSimulator` run per distinct
+    #: ordering.  ``None`` values mark configurations whose simulation
+    #: deadlocked; the attribute itself is ``None`` when batching is off.
+    measured_cycle_times: dict[int, Number | None] | None = None
 
     @property
     def initial_record(self) -> IterationRecord:
@@ -154,6 +161,17 @@ class Explorer:
             loop's phases report wall time / counters into the profiler's
             metrics registry under the stable ``dse.*`` names
             (``docs/OBSERVABILITY.md``).  No cost when ``None``.
+        batch: Cross-validate the analytic trajectory by simulation: after
+            the loop converges, replay every visited configuration through
+            the vectorized :class:`repro.sim.BatchSimulator` — one
+            lock-step run per distinct ordering, one lane per
+            configuration — and attach the measured steady-state cycle
+            times to :attr:`ExplorationResult.measured_cycle_times`.
+            ``None`` (the default) defers to the ``ERMES_SIM_BATCH``
+            environment knob.  The exploration trajectory itself is
+            untouched: batching adds measurements, never decisions.
+        batch_iterations: Iterations each batched lane runs for (the
+            steady-state estimate uses the second half).
     """
 
     def __init__(
@@ -166,6 +184,8 @@ class Explorer:
         engine_exact: bool = True,
         perf_engine: PerformanceEngine | None = None,
         profiler: "DseProfiler | None" = None,
+        batch: bool | None = None,
+        batch_iterations: int = 32,
     ):
         self.target_cycle_time = target_cycle_time
         self.max_iterations = max_iterations
@@ -175,6 +195,12 @@ class Explorer:
         self.engine_exact = engine_exact
         self.perf_engine = perf_engine or PerformanceEngine()
         self.profiler = profiler
+        if batch is None:
+            from repro.sim.batch import batch_enabled_by_env
+
+            batch = batch_enabled_by_env()
+        self.batch = batch
+        self.batch_iterations = batch_iterations
         # Memoized Algorithm 1 results: sweeps revisit configurations, and
         # orderings are immutable values safe to share.
         self._ordering_cache = LruCache(maxsize=256)
@@ -227,6 +253,9 @@ class Explorer:
             performance = self._analyze(config)
         start_record = self._record(0, "start", config, performance, (), ())
         result.history.append(start_record)
+        # Visited configurations by history index, for the optional batched
+        # simulation cross-validation after the loop.
+        trail: list[tuple[int, SystemConfiguration]] = [(0, config)]
         consider(start_record, config)
         if profiler is not None:
             profiler.iteration(start_record, self.perf_engine)
@@ -318,6 +347,7 @@ class Explorer:
                     iteration, "none", config, performance, (), ()
                 )
                 result.history.append(none_record)
+                trail.append((len(result.history) - 1, config))
                 if profiler is not None:
                     profiler.iteration(
                         none_record, self.perf_engine, iteration_nodes
@@ -338,6 +368,7 @@ class Explorer:
                 reordered,
             )
             result.history.append(record)
+            trail.append((len(result.history) - 1, config))
             consider(record, config)
             if profiler is not None:
                 profiler.iteration(record, self.perf_engine, iteration_nodes)
@@ -356,6 +387,11 @@ class Explorer:
             result.final = config
             result.final_index = len(result.history) - 1
         result.cache_stats = self.perf_engine.stats_dict()
+        if self.batch:
+            with timed("dse.batch"):
+                result.measured_cycle_times = self._measure_batch(
+                    trail, metrics
+                )
         if profiler is not None:
             profiler.end_run(result, self.perf_engine)
             profiler.metrics.merge_cache_stats(
@@ -420,6 +456,55 @@ class Explorer:
         except BudgetExceeded:
             if metrics is not None:
                 metrics.counter("dse.verify.inconclusive").add(1)
+
+    def _measure_batch(
+        self,
+        trail: list[tuple[int, SystemConfiguration]],
+        metrics: "MetricsRegistry | None",
+    ) -> dict[int, Number | None]:
+        """Simulate every visited configuration through the batch engine.
+
+        Configurations sharing an ordering share a compiled structure, so
+        they batch into one lock-step run with one lane per configuration
+        — their selections differ only in process latencies, exactly what
+        a :class:`~repro.sim.BatchLane` overrides.  A lane whose
+        simulation deadlocks yields ``None`` (the analytic loop may walk
+        through orderings simulation rejects; that disagreement is the
+        point of cross-validation).
+        """
+        from repro.errors import SimulationDeadlock
+        from repro.sim.batch import BatchLane, BatchSimulator
+
+        measured: dict[int, Number | None] = {}
+        groups: dict[
+            OrderingFingerprint, list[tuple[int, SystemConfiguration]]
+        ] = {}
+        for index, cfg in trail:
+            groups.setdefault(
+                _ordering_fingerprint(cfg.ordering), []
+            ).append((index, cfg))
+        for entries in groups.values():
+            first = entries[0][1]
+            sinks = first.system.sinks()
+            watch = (
+                sinks[0].name if sinks else first.system.process_names[0]
+            )
+            lanes = [
+                BatchLane(process_latencies=cfg.process_latencies())
+                for _, cfg in entries
+            ]
+            outcomes = BatchSimulator(
+                first.system, first.ordering, lanes=lanes, metrics=metrics
+            ).run(iterations=self.batch_iterations, on_deadlock="capture")
+            for (index, _), outcome in zip(entries, outcomes):
+                measured[index] = (
+                    None
+                    if isinstance(outcome, SimulationDeadlock)
+                    else outcome.measured_cycle_time(watch)
+                )
+        if metrics is not None:
+            metrics.counter("dse.batch.measured").add(len(measured))
+        return measured
 
     def _reorder(self, config: SystemConfiguration) -> ChannelOrdering:
         system = config.system.with_process_latencies(config.process_latencies())

@@ -24,6 +24,7 @@ from typing import Callable, Mapping, Union
 
 from repro.core.system import Channel, SystemGraph
 from repro.dse.config import SystemConfiguration
+from repro.errors import ReproError
 from repro.dse.explorer import ExplorationResult, Explorer
 from repro.sizing.capacity import (
     cycle_time_with_capacities,
@@ -37,14 +38,26 @@ Number = Union[Fraction, float]
 SlotArea = Callable[[Channel], float]
 
 
-def volume_proportional_slot_area(area_per_latency_cycle: float = 40.0) -> SlotArea:
+def volume_proportional_slot_area(
+    area_per_latency_cycle: float = 40.0,
+    min_slot_area: float | None = None,
+) -> SlotArea:
     """Default memory model: a slot stores one data item, whose size is
     proportional to the channel's transfer latency (latency = data volume
     over the channel's physical width, so latency × width ∝ volume; with
-    width folded into the constant this is the right first-order model)."""
+    width folded into the constant this is the right first-order model).
+
+    The per-slot cost is floored at ``min_slot_area`` (default: one
+    latency cycle's worth, ``area_per_latency_cycle``): even a
+    zero-volume item occupies a physical register, so no slot is ever
+    free — without the floor, ``co_optimize`` would buy unlimited slots
+    on zero-latency buffered channels at zero charge.
+    """
+    if min_slot_area is None:
+        min_slot_area = area_per_latency_cycle
 
     def slot_area(channel: Channel) -> float:
-        return area_per_latency_cycle * channel.latency
+        return max(area_per_latency_cycle * channel.latency, min_slot_area)
 
     return slot_area
 
@@ -112,7 +125,9 @@ def _escalate_with_buffers(
         system = candidate.system.with_process_latencies(
             candidate.process_latencies()
         )
-    except Exception:  # pragma: no cover - ordering failures keep current
+    except ReproError:
+        # Only the domain failures (deadlock, infeasibility, validation)
+        # keep the current valid ordering; programming errors propagate.
         pass
 
     sized = size_buffers(

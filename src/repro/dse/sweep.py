@@ -30,11 +30,18 @@ class SweepPoint:
     feasible: bool
     iterations: int
     result: ExplorationResult
+    #: Simulated steady-state cycle time of the final configuration, from
+    #: the sweep-level batched cross-validation (``batch=True`` /
+    #: ``ERMES_SIM_BATCH``); ``None`` when batching is off or the lane
+    #: deadlocked.
+    measured_cycle_time: Number | None = None
 
 
 def sweep_targets(
     config: SystemConfiguration,
     targets: Sequence[Number],
+    batch: bool | None = None,
+    batch_iterations: int = 32,
     **explorer_kwargs,
 ) -> list[SweepPoint]:
     """Run one exploration per target cycle time (descending order).
@@ -52,6 +59,16 @@ def sweep_targets(
     is shared by every per-target Explorer, its ``sweep.*`` counters and
     timers cover the sweep loop itself, and ``snapshot.iteration`` resets
     per target while the snapshot list keeps accumulating.
+
+    With ``batch=True`` (default: the ``ERMES_SIM_BATCH`` environment
+    knob) the sweep cross-validates its frontier by simulation after the
+    loop: the per-target final configurations are grouped by ordering —
+    they share one compiled structure per group — and replayed through
+    one vectorized :class:`repro.sim.BatchSimulator` run per group, one
+    lane per target.  Each point's
+    :attr:`SweepPoint.measured_cycle_time` carries the simulated
+    steady-state period (``None`` for a deadlocking lane).  Exploration
+    outcomes are unchanged; batching only measures.
     """
     from repro.ir import lower
     from repro.lint import preflight
@@ -91,23 +108,83 @@ def sweep_targets(
         )
         if result.final is not None:
             current = result.final
+    if batch is None:
+        from repro.sim.batch import batch_enabled_by_env
+
+        batch = batch_enabled_by_env()
+    if batch and points:
+        points = _measure_points(points, batch_iterations, profiler)
     return points
+
+
+def _measure_points(points, batch_iterations, profiler):
+    """Replay each point's final configuration through the batch engine.
+
+    Points whose finals share an ordering share a compiled structure and
+    batch into one lock-step run (their selections are latency-only lane
+    overrides).  Returns new :class:`SweepPoint` instances with
+    ``measured_cycle_time`` attached.
+    """
+    from dataclasses import replace
+
+    from repro.dse.explorer import _ordering_fingerprint
+    from repro.errors import SimulationDeadlock
+    from repro.sim.batch import BatchLane, BatchSimulator
+
+    groups: dict = {}
+    for i, point in enumerate(points):
+        cfg = point.result.final
+        if cfg is None:
+            continue
+        groups.setdefault(
+            _ordering_fingerprint(cfg.ordering), []
+        ).append((i, cfg))
+    metrics = profiler.metrics if profiler is not None else None
+    measured: dict[int, Number | None] = {}
+    for entries in groups.values():
+        first = entries[0][1]
+        sinks = first.system.sinks()
+        watch = sinks[0].name if sinks else first.system.process_names[0]
+        lanes = [
+            BatchLane(process_latencies=cfg.process_latencies())
+            for _, cfg in entries
+        ]
+        outcomes = BatchSimulator(
+            first.system, first.ordering, lanes=lanes, metrics=metrics
+        ).run(iterations=batch_iterations, on_deadlock="capture")
+        for (i, _), outcome in zip(entries, outcomes):
+            measured[i] = (
+                None
+                if isinstance(outcome, SimulationDeadlock)
+                else outcome.measured_cycle_time(watch)
+            )
+    return [
+        replace(point, measured_cycle_time=measured[i])
+        if i in measured else point
+        for i, point in enumerate(points)
+    ]
 
 
 def pareto_points(points: Iterable[SweepPoint]) -> list[SweepPoint]:
     """The non-dominated (cycle time, area) subset of a sweep's feasible
-    outcomes, sorted by ascending cycle time."""
+    outcomes, sorted by ascending cycle time.
+
+    Cycle times are compared **exactly**: the analysis engine produces
+    :class:`fractions.Fraction` values, and Python compares ``Fraction``
+    with ``Fraction``/``float`` without rounding.  Collapsing through
+    ``float()`` here used to merge distinct cycle times that collide in
+    double precision, silently dropping genuine frontier points
+    (regression-tested in ``tests/dse/test_sweep.py``).
+    """
     feasible = sorted(
         (p for p in points if p.feasible),
-        key=lambda p: (float(p.cycle_time), p.area),
+        key=lambda p: (p.cycle_time, p.area),
     )
     frontier: list[SweepPoint] = []
     best_area = float("inf")
     for point in feasible:
         if point.area < best_area:
-            if frontier and float(frontier[-1].cycle_time) == float(
-                point.cycle_time
-            ):
+            if frontier and frontier[-1].cycle_time == point.cycle_time:
                 continue
             frontier.append(point)
             best_area = point.area

@@ -6,6 +6,12 @@ throughput and stalls, and detects runtime deadlocks with a wait-for-cycle
 diagnosis.
 """
 
+from repro.sim.batch import (
+    BatchLane,
+    BatchSimulator,
+    batch_enabled_by_env,
+    simulate_batch,
+)
 from repro.sim.channel import ChannelState, Rendezvous
 from repro.sim.engine import SimulationResult, Simulator, simulate
 from repro.sim.metrics import (
@@ -19,6 +25,8 @@ from repro.sim.reference import ReferenceSimulator
 from repro.sim.trace import TraceEvent, TraceRecorder, TraceSink, format_trace
 
 __all__ = [
+    "BatchLane",
+    "BatchSimulator",
     "Behavior",
     "ChannelState",
     "ProcessState",
@@ -32,8 +40,10 @@ __all__ = [
     "TraceRecorder",
     "TraceSink",
     "agreement_error",
+    "batch_enabled_by_env",
     "format_trace",
     "simulate",
+    "simulate_batch",
     "throughput",
     "token_behavior",
     "utilizations",

@@ -1,0 +1,801 @@
+"""Batched, vectorized simulation over a shared :class:`~repro.ir.LoweredIR`.
+
+The DSE loop evaluates hundreds of near-identical candidates per
+iteration: single-swap neighbors that share the compiled ``(system,
+ordering)`` structure and differ only in what an implementation selection
+changes — per-process compute latencies — or in what buffer sizing
+changes — per-channel FIFO capacities.  The scalar engine re-runs the
+whole interpreter once per candidate; this module runs **B candidates in
+lock-step over one compiled program**.
+
+Why lock-step is exact
+----------------------
+
+The scalar engine's *control path* — which process the scheduler picks,
+where it blocks, which peer a completed transfer wakes — depends only on
+statement opcodes and queue occupancies (counts), never on timestamps:
+``proc.time`` feeds arithmetic (``done = max(t, peer) + latency``) but no
+branch.  Process latencies therefore cannot change the schedule, only the
+numbers flowing through it.  So a batch of lanes sharing the structure
+*and* the channel capacities (capacities do gate blocking) replays the
+identical control path, and the per-lane state collapses to dense
+``(B,)`` integer vectors: every scalar ``max``/``+`` becomes one
+``numpy`` vector operation covering all lanes at once.
+
+Lanes that also override channel capacities are grouped by capacity
+signature; each group is one lock-step run over its own (memoized)
+lowering.  In the common DSE case — latency-only neighbors — that is one
+compile and one control-path execution for the whole batch.
+
+Correctness is enforced, not assumed: every lane is differential-tested
+bit-identical to :class:`repro.sim.ReferenceSimulator` (results, deadlock
+diagnoses, traces) in ``tests/sim/test_batch.py``, and
+``benchmarks/test_bench_simd.py`` gates the >= 5x aggregate throughput
+this engine exists for.
+
+The batch engine is synchronization-only: functional payloads
+(``behaviors`` / ``initial_payloads``) stay on the scalar engine, whose
+per-lane payload staging the vector form cannot share.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Mapping, Sequence, Union
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.errors import SimulationDeadlock, SimulationError
+from repro.ir import OP_COMPUTE, OP_PUT, LoweredIR, lower
+from repro.sim.engine import SimulationResult, _find_wait_cycle
+from repro.sim.trace import TraceRecorder, TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+IntVec = NDArray[np.int64]
+
+#: One lane's outcome: a result, or the deadlock that ended it (only
+#: returned when running with ``on_deadlock="capture"``).
+LaneOutcome = Union[SimulationResult, SimulationDeadlock]
+
+
+def batch_enabled_by_env(default: bool = False) -> bool:
+    """Resolve the ``ERMES_SIM_BATCH`` environment knob.
+
+    ``1``/``true``/``yes``/``on`` (case-insensitive) enable batching;
+    ``0``/``false``/``no``/``off`` disable it; unset/empty returns
+    ``default``.
+    """
+    raw = os.environ.get("ERMES_SIM_BATCH", "").strip().lower()
+    if not raw:
+        return default
+    return raw in {"1", "true", "yes", "on"}
+
+
+@dataclass(frozen=True)
+class BatchLane:
+    """Per-lane overrides: exactly what DSE varies between neighbors.
+
+    Attributes:
+        process_latencies: Compute-latency overrides by process name
+            (implementation selections).  Unlisted processes keep the
+            system's declared latency.  Latencies never change the
+            schedule, so any mix batches into one lock-step run.
+        channel_capacities: FIFO-capacity overrides by channel name
+            (buffer sizing).  Capacities gate blocking, so lanes are
+            grouped by capacity signature; each distinct signature costs
+            one extra control-path execution.
+        record_trace: Keep this lane's full event trace in memory
+            (returned on its :class:`~repro.sim.SimulationResult`).
+        sinks: Streaming trace sinks for this lane; each receives the
+            lane's :class:`~repro.sim.TraceEvent` stream exactly as the
+            scalar engine would emit it.
+    """
+
+    process_latencies: Mapping[str, int] | None = None
+    channel_capacities: Mapping[str, int] | None = None
+    record_trace: bool = False
+    sinks: Sequence[TraceSink] = ()
+
+
+class _BProc:
+    """Per-process execution state with ``(B,)``-vector clocks."""
+
+    __slots__ = (
+        "pid", "name", "ops", "args", "n", "lat",
+        "time", "index", "iteration", "blocked_on", "computes",
+        "completion_times", "stall",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        name: str,
+        ops: tuple[int, ...],
+        args: tuple[int, ...],
+        lat: IntVec,
+        n_channels: int,
+        n_lanes: int,
+    ):
+        self.pid = pid
+        self.name = name
+        self.ops = ops
+        self.args = args
+        self.n = len(ops)
+        self.lat = lat  # (B,) per-lane compute latency
+        self.time: IntVec = np.zeros(n_lanes, dtype=np.int64)
+        self.index = 0
+        self.iteration = 0
+        self.blocked_on = -1  # channel id while waiting, -1 when runnable
+        self.computes = 0  # compute statements executed (shared count)
+        self.completion_times: list[IntVec] = []
+        # (n_channels, B): per-channel stall cycles, one row per cid so
+        # the hot-path accumulation is a contiguous vector add.
+        self.stall: IntVec = np.zeros((n_channels, n_lanes), dtype=np.int64)
+
+
+class _GroupRun:
+    """One lock-step execution: lanes sharing structure *and* capacities.
+
+    A faithful port of :class:`repro.sim.Simulator`'s control path with
+    every per-lane scalar time replaced by a ``(B,)`` vector.  The
+    branch structure is kept line-for-line so the two engines cannot
+    drift apart silently; differential tests enforce bit-identity.
+    """
+
+    def __init__(
+        self,
+        system: SystemGraph,
+        ir: LoweredIR,
+        lanes: Sequence[BatchLane],
+    ):
+        self.system = system
+        self.ir = ir
+        self.n_lanes = len(lanes)
+        n_channels = ir.n_channels
+        n_lanes = self.n_lanes
+
+        self._ch_latency = ir.channel_latencies
+        self._ch_buffered = ir.buffered
+        self._producer_pid = ir.producers
+        self._consumer_pid = ir.consumers
+        self._transfers = [0] * n_channels
+        # Rendezvous bookkeeping, indexed by channel id; every entry is a
+        # (B,) vector of per-lane arrival times.
+        self._pending_put: list[deque[IntVec]] = [
+            deque() for _ in range(n_channels)
+        ]
+        self._pending_get: list[deque[IntVec]] = [
+            deque() for _ in range(n_channels)
+        ]
+        # Buffered (FIFO) bookkeeping, indexed by channel id.
+        self._items: list[deque[IntVec]] = [deque() for _ in range(n_channels)]
+        self._credits: list[deque[IntVec]] = [
+            deque() for _ in range(n_channels)
+        ]
+        self._blocked_put: list[deque[IntVec]] = [
+            deque() for _ in range(n_channels)
+        ]
+        self._blocked_get: list[deque[IntVec]] = [
+            deque() for _ in range(n_channels)
+        ]
+        # Entries preloaded at t=0 are only ever read (np.maximum), never
+        # mutated, so one shared zero vector serves every slot.
+        zeros: IntVec = np.zeros(n_lanes, dtype=np.int64)
+        for cid in range(n_channels):
+            if ir.buffered[cid]:
+                tokens = ir.initial_tokens[cid]
+                items = self._items[cid]
+                for _ in range(tokens):
+                    items.append(zeros)
+                credits = self._credits[cid]
+                for _ in range(ir.effective_capacities[cid] - tokens):
+                    credits.append(zeros)
+
+        base_latencies = system.process_latencies()
+        self._procs: list[_BProc] = []
+        for pid, name in enumerate(ir.processes):
+            default = base_latencies[name]
+            lat = np.fromiter(
+                (
+                    (lane.process_latencies or {}).get(name, default)
+                    for lane in lanes
+                ),
+                dtype=np.int64,
+                count=n_lanes,
+            )
+            self._procs.append(
+                _BProc(
+                    pid, name, ir.op_kinds[pid], ir.op_args[pid],
+                    lat, n_channels, n_lanes,
+                )
+            )
+
+        # Per-lane trace plumbing; the hot path pays one boolean when no
+        # lane traces (mirrors the scalar engine's single-flag gate).
+        self._recorders: list[TraceRecorder | None] = [
+            TraceRecorder(enabled=lane.record_trace, sinks=lane.sinks)
+            if lane.record_trace or lane.sinks else None
+            for lane in lanes
+        ]
+        self._traced: list[tuple[int, TraceRecorder]] = [
+            (li, recorder)
+            for li, recorder in enumerate(self._recorders)
+            if recorder is not None
+        ]
+        self._trace_on = bool(self._traced)
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        iterations: int,
+        watch_pid: int,
+        max_steps: int | None,
+    ) -> None:
+        """Advance every lane until the watched process completes
+        ``iterations`` loops (raises :class:`SimulationDeadlock` when the
+        shared control path deadlocks — all lanes together, since the
+        schedule is latency-independent)."""
+        procs = self._procs
+        budget = max_steps or (
+            40 * (iterations + 4) * (len(procs) + self.ir.n_channels) + 1000
+        )
+        watched = procs[watch_pid]
+        runnable: deque[int] = deque(range(len(procs)))
+        steps = 0
+        while watched.iteration < iterations:
+            if not runnable:
+                self.steps = steps
+                self._raise_deadlock()
+            steps += 1
+            if steps > budget:
+                raise SimulationError(
+                    f"simulation exceeded its step budget ({budget}); "
+                    "raise max_steps for very long transients"
+                )
+            pid = runnable.popleft()
+            proc = procs[pid]
+            self._advance(proc, runnable)
+            if proc.blocked_on < 0:
+                runnable.append(pid)
+        self.steps = steps
+
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        time: IntVec,
+        kind: str,
+        process: str,
+        channel: str | None,
+        iteration: int,
+        duration: IntVec | None = None,
+        wait: IntVec | None = None,
+    ) -> None:
+        """Fan a vector event out to the lanes that trace."""
+        for li, recorder in self._traced:
+            recorder.record(
+                int(time[li]), kind, process, channel, iteration,
+                duration=int(duration[li]) if duration is not None else 0,
+                wait=int(wait[li]) if wait is not None else 0,
+            )
+
+    def _advance(self, proc: _BProc, runnable: deque[int]) -> None:
+        """Run one process until it blocks (or completes a full loop).
+
+        Structurally identical to ``Simulator._advance`` — same branches,
+        same queue discipline — with vectorized time arithmetic.
+        """
+        if proc.blocked_on >= 0:
+            return
+        ops = proc.ops
+        args = proc.args
+        n = proc.n
+        channels = self.ir.channels
+        trace_on = self._trace_on
+        ch_latency = self._ch_latency
+        ch_buffered = self._ch_buffered
+        maximum = np.maximum
+        while True:
+            i = proc.index
+            op = ops[i]
+            if op == OP_COMPUTE:
+                lat = proc.lat
+                proc.time = proc.time + lat
+                proc.computes += 1
+                if trace_on:
+                    self._record(proc.time, "compute", proc.name, None,
+                                 proc.iteration, duration=lat)
+            elif op == OP_PUT:
+                cid = args[i]
+                t = proc.time
+                if ch_buffered[cid]:
+                    credits = self._credits[cid]
+                    if not credits:
+                        self._blocked_put[cid].append(t)
+                        proc.blocked_on = cid
+                        if trace_on:
+                            self._record(t, "block-put", proc.name,
+                                         channels[cid], proc.iteration)
+                        return
+                    credit_time = credits.popleft()
+                    start = maximum(t, credit_time)
+                    done = start + ch_latency[cid]
+                    self._items[cid].append(done)
+                    self._transfers[cid] += 1
+                    waited = start - t
+                    proc.stall[cid] += waited
+                    proc.time = done
+                    if trace_on:
+                        self._record(done, "put", proc.name, channels[cid],
+                                     proc.iteration, wait=waited)
+                else:
+                    pending_get = self._pending_get[cid]
+                    if not pending_get:
+                        self._pending_put[cid].append(t)
+                        proc.blocked_on = cid
+                        if trace_on:
+                            self._record(t, "block-put", proc.name,
+                                         channels[cid], proc.iteration)
+                        return
+                    get_time = pending_get.popleft()
+                    start = maximum(t, get_time)
+                    done = start + ch_latency[cid]
+                    self._transfers[cid] += 1
+                    proc.stall[cid] += start - t
+                    proc.time = done
+                    if trace_on:
+                        self._record(done, "put", proc.name, channels[cid],
+                                     proc.iteration, wait=start - t)
+                    self._step(proc)
+                    self._resume(self._procs[self._consumer_pid[cid]], cid,
+                                 done, start - get_time, "get", runnable,
+                                 peer_is_consumer=True)
+                    if i + 1 == n:
+                        return
+                    continue
+            else:  # OP_GET
+                cid = args[i]
+                t = proc.time
+                if ch_buffered[cid]:
+                    items = self._items[cid]
+                    if not items:
+                        self._blocked_get[cid].append(t)
+                        proc.blocked_on = cid
+                        if trace_on:
+                            self._record(t, "block-get", proc.name,
+                                         channels[cid], proc.iteration)
+                        return
+                    item_time = items.popleft()
+                    done = maximum(t, item_time)
+                    self._credits[cid].append(done)
+                    proc.stall[cid] += done - t
+                    proc.time = done
+                    if trace_on:
+                        self._record(done, "get", proc.name, channels[cid],
+                                     proc.iteration, wait=done - t)
+                else:
+                    pending_put = self._pending_put[cid]
+                    if not pending_put:
+                        self._pending_get[cid].append(t)
+                        proc.blocked_on = cid
+                        if trace_on:
+                            self._record(t, "block-get", proc.name,
+                                         channels[cid], proc.iteration)
+                        return
+                    put_time = pending_put.popleft()
+                    start = maximum(t, put_time)
+                    done = start + ch_latency[cid]
+                    self._transfers[cid] += 1
+                    proc.stall[cid] += start - t
+                    proc.time = done
+                    if trace_on:
+                        self._record(done, "get", proc.name, channels[cid],
+                                     proc.iteration, wait=start - t)
+                    self._step(proc)
+                    self._resume(self._procs[self._producer_pid[cid]], cid,
+                                 done, start - put_time, "put", runnable,
+                                 peer_is_consumer=False)
+                    if i + 1 == n:
+                        return
+                    continue
+            i += 1
+            if i == n:
+                proc.index = 0
+                proc.iteration += 1
+                proc.completion_times.append(proc.time)
+                if op != OP_COMPUTE:
+                    self._wake(op, cid, runnable)
+                return
+            proc.index = i
+            if op != OP_COMPUTE:
+                self._wake(op, cid, runnable)
+
+    def _step(self, proc: _BProc) -> None:
+        """Move past the current statement; wrap bumps the iteration."""
+        i = proc.index + 1
+        if i == proc.n:
+            proc.index = 0
+            proc.iteration += 1
+            proc.completion_times.append(proc.time)
+        else:
+            proc.index = i
+
+    def _wake(self, op: int, cid: int, runnable: deque[int]) -> None:
+        """Post-completion wake-ups on a buffered channel."""
+        if op == OP_PUT:
+            self._wake_blocked_get(cid, runnable)
+        else:
+            self._wake_blocked_put(cid, runnable)
+
+    def _resume(
+        self,
+        peer: _BProc,
+        cid: int,
+        done: IntVec,
+        peer_wait: IntVec,
+        kind: str,
+        runnable: deque[int],
+        peer_is_consumer: bool,
+    ) -> None:
+        """A blocked peer's rendezvous completed: unblock and reschedule."""
+        if peer.blocked_on != cid:
+            channel_name = self.ir.channels[cid]
+            role = "consumer" if peer_is_consumer else "producer"
+            was = (
+                self.ir.channels[peer.blocked_on]
+                if peer.blocked_on >= 0 else None
+            )
+            raise SimulationError(
+                f"protocol violation on {channel_name!r}: {role} "
+                f"{peer.name!r} was not waiting (blocked on {was!r})"
+            )
+        peer.stall[cid] += peer_wait
+        peer.time = done
+        peer.blocked_on = -1
+        if self._trace_on:
+            self._record(done, kind, peer.name, self.ir.channels[cid],
+                         peer.iteration, wait=peer_wait)
+        self._step(peer)
+        runnable.append(peer.pid)
+
+    def _wake_blocked_put(self, cid: int, runnable: deque[int]) -> None:
+        """Try to complete the oldest blocked put after a credit release."""
+        blocked = self._blocked_put[cid]
+        credits = self._credits[cid]
+        if not blocked or not credits:
+            return
+        t = blocked.popleft()
+        credit_time = credits.popleft()
+        start = np.maximum(t, credit_time)
+        done = start + self._ch_latency[cid]
+        self._items[cid].append(done)
+        self._transfers[cid] += 1
+        peer = self._procs[self._producer_pid[cid]]
+        if peer.blocked_on != cid:
+            raise SimulationError(
+                f"protocol violation on {self.ir.channels[cid]!r}: blocked "
+                f"put without a blocked producer"
+            )
+        peer_wait = start - t
+        peer.stall[cid] += peer_wait
+        peer.time = done
+        peer.blocked_on = -1
+        if self._trace_on:
+            self._record(done, "put", peer.name, self.ir.channels[cid],
+                         peer.iteration, wait=peer_wait)
+        self._step(peer)
+        runnable.append(peer.pid)
+        self._wake_blocked_get(cid, runnable)
+
+    def _wake_blocked_get(self, cid: int, runnable: deque[int]) -> None:
+        """Try to complete the oldest blocked get after an item arrival."""
+        blocked = self._blocked_get[cid]
+        items = self._items[cid]
+        if not blocked or not items:
+            return
+        t = blocked.popleft()
+        item_time = items.popleft()
+        done = np.maximum(t, item_time)
+        self._credits[cid].append(done)
+        peer = self._procs[self._consumer_pid[cid]]
+        if peer.blocked_on != cid:
+            raise SimulationError(
+                f"protocol violation on {self.ir.channels[cid]!r}: blocked "
+                f"get without a blocked consumer"
+            )
+        peer_wait = done - t
+        peer.stall[cid] += peer_wait
+        peer.time = done
+        peer.blocked_on = -1
+        if self._trace_on:
+            self._record(done, "get", peer.name, self.ir.channels[cid],
+                         peer.iteration, wait=peer_wait)
+        self._step(peer)
+        runnable.append(peer.pid)
+        self._wake_blocked_put(cid, runnable)
+
+    # ------------------------------------------------------------------
+
+    def _raise_deadlock(self) -> None:
+        """Diagnose and raise the runtime deadlock: everyone is blocked.
+
+        The schedule is shared, so a deadlock hits every lane of the
+        group at once with the identical diagnosis the scalar engine
+        produces per lane.
+        """
+        ir = self.ir
+        waiting = {
+            proc.name: ir.channels[proc.blocked_on]
+            for proc in self._procs
+            if proc.blocked_on >= 0
+        }
+        wait_for: dict[str, str] = {}
+        for proc in self._procs:
+            cid = proc.blocked_on
+            if cid < 0:
+                continue
+            peer_pid = (
+                ir.consumers[cid]
+                if ir.producers[cid] == proc.pid else ir.producers[cid]
+            )
+            wait_for[proc.name] = ir.processes[peer_pid]
+        cycle = _find_wait_cycle(wait_for)
+        detail = ", ".join(f"{p} on {c}" for p, c in sorted(waiting.items()))
+        raise SimulationDeadlock(
+            f"simulation deadlock: all runnable processes are blocked ({detail})",
+            cycle=cycle,
+            waiting=waiting,
+        )
+
+    def collect(self) -> list[SimulationResult]:
+        """Per-lane results, bit-identical to the scalar engine's."""
+        ir = self.ir
+        procs = self._procs
+        sink_names = {p.name for p in self.system.sinks()}
+        sink_procs = [name for name in ir.processes if name in sink_names]
+        transfers = {
+            name: self._transfers[cid] for cid, name in enumerate(ir.channels)
+        }
+        # Pre-decode the vector state once: python-int conversion per lane
+        # is the only per-lane cost.
+        times = {p.name: p.time.tolist() for p in procs}
+        completions = {
+            p.name: (
+                np.stack(p.completion_times, axis=0)
+                if p.completion_times
+                else np.zeros((0, self.n_lanes), dtype=np.int64)
+            )
+            for p in procs
+        }
+        compute = {p.name: (p.lat * p.computes).tolist() for p in procs}
+        stall_total = {p.name: p.stall.sum(axis=0).tolist() for p in procs}
+        stall_rows = {p.name: p.stall.tolist() for p in procs}
+        iteration_counts = {p.name: p.iteration for p in procs}
+
+        results: list[SimulationResult] = []
+        for li in range(self.n_lanes):
+            recorder = self._recorders[li]
+            results.append(
+                SimulationResult(
+                    iterations=dict(iteration_counts),
+                    times={name: col[li] for name, col in times.items()},
+                    completion_times={
+                        p.name: completions[p.name][:, li].tolist()
+                        for p in procs
+                    },
+                    compute_cycles={
+                        name: col[li] for name, col in compute.items()
+                    },
+                    stall_cycles={
+                        name: col[li] for name, col in stall_total.items()
+                    },
+                    channel_transfers=dict(transfers),
+                    sink_payloads={name: [] for name in sink_procs},
+                    trace=recorder.events() if recorder is not None else (),
+                    stall_breakdown={
+                        name: row
+                        for name, rows in stall_rows.items()
+                        if (row := {
+                            ir.channels[cid]: cycles[li]
+                            for cid, cycles in enumerate(rows)
+                            if cycles[li]
+                        })
+                    },
+                )
+            )
+        return results
+
+
+class BatchSimulator:
+    """Advance B simulations of one ``(system, ordering)`` pair in lock-step.
+
+    Lanes are grouped by their channel-capacity signature; each group is
+    one compile (memoized :func:`repro.ir.lower`) and one vectorized
+    control-path execution.  Latency-only batches — the DSE neighbor case
+    — form a single group.
+
+    Args:
+        system: The shared system to simulate.
+        ordering: Statement orders (default: declaration order), shared by
+            every lane.
+        lanes: Per-lane overrides; an empty :class:`BatchLane` replays the
+            declared system exactly.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; end-of-run
+            aggregates are recorded under the ``sim.batch.*`` metric names
+            (see ``docs/OBSERVABILITY.md``).
+    """
+
+    def __init__(
+        self,
+        system: SystemGraph,
+        ordering: ChannelOrdering | None = None,
+        lanes: Sequence[BatchLane] = (),
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        from repro.lint import preflight
+
+        self.system = system
+        self.ordering = ordering or ChannelOrdering.declaration_order(system)
+        self.lanes = tuple(lanes)
+        self._metrics = metrics
+
+        declared = {c.name: c.capacity for c in system.channels}
+        known = set(declared)
+        # Group lane indices by capacity signature (declaration order).
+        self._groups: dict[
+            tuple[int, ...], tuple[SystemGraph, list[int]]
+        ] = {}
+        for li, lane in enumerate(self.lanes):
+            overrides = dict(lane.channel_capacities or {})
+            unknown = sorted(set(overrides) - known)
+            if unknown:
+                raise SimulationError(
+                    f"lane {li}: capacity override for unknown channel(s) "
+                    f"{', '.join(repr(u) for u in unknown)}"
+                )
+            signature = tuple(
+                overrides.get(name, cap) for name, cap in declared.items()
+            )
+            entry = self._groups.get(signature)
+            if entry is None:
+                if overrides and any(
+                    overrides[name] != declared[name] for name in overrides
+                ):
+                    group_system = system.with_channel_capacities(overrides)
+                else:
+                    group_system = system
+                # The same structural pre-flight the scalar engine runs:
+                # each capacity signature is its own specification.
+                preflight(group_system, self.ordering)
+                self._groups[signature] = (group_system, [li])
+            else:
+                entry[1].append(li)
+
+    @property
+    def n_groups(self) -> int:
+        """Distinct capacity signatures (compiles) in this batch."""
+        return len(self._groups)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        iterations: int = 64,
+        watch: str | None = None,
+        max_steps: int | None = None,
+        on_deadlock: str = "raise",
+    ) -> List[LaneOutcome]:
+        """Run every lane to ``iterations`` completed loops of ``watch``.
+
+        Args:
+            iterations: Target completed iterations of the watched process
+                (same contract as :meth:`repro.sim.Simulator.run`).
+            watch: Watched process (default: first sink, else first
+                process).
+            max_steps: Safety valve on scheduler steps per group.
+            on_deadlock: ``"raise"`` re-raises the first group's
+                :class:`SimulationDeadlock` exactly as the scalar engine
+                would; ``"capture"`` stores the exception in each affected
+                lane's slot instead and keeps running the other groups.
+
+        Returns:
+            One outcome per lane, in lane order.
+        """
+        if iterations < 1:
+            raise SimulationError("iterations must be >= 1")
+        if on_deadlock not in ("raise", "capture"):
+            raise SimulationError(
+                f"on_deadlock must be 'raise' or 'capture', got {on_deadlock!r}"
+            )
+        watch = watch or self._default_watch()
+        if watch not in self.system.process_names:
+            raise SimulationError(f"unknown watch process {watch!r}")
+        outcomes: list[LaneOutcome | None] = [None] * len(self.lanes)
+        total_steps = 0
+        for group_system, lane_indices in self._groups.values():
+            ir = lower(group_system, self.ordering)
+            watch_pid = ir.process_index[watch]
+            run = _GroupRun(
+                group_system, ir, [self.lanes[li] for li in lane_indices]
+            )
+            try:
+                run.run(iterations, watch_pid, max_steps)
+            except SimulationDeadlock as deadlock:
+                if on_deadlock == "raise":
+                    raise
+                total_steps += run.steps
+                for li in lane_indices:
+                    outcomes[li] = deadlock
+                continue
+            total_steps += run.steps
+            for li, result in zip(lane_indices, run.collect()):
+                outcomes[li] = result
+        final = [outcome for outcome in outcomes if outcome is not None]
+        assert len(final) == len(self.lanes)
+        if self._metrics is not None:
+            self._record_metrics(final, total_steps)
+        return final
+
+    # ------------------------------------------------------------------
+
+    def _default_watch(self) -> str:
+        sinks = self.system.sinks()
+        if sinks:
+            return sinks[0].name
+        return self.system.process_names[0]
+
+    def _record_metrics(
+        self, outcomes: Sequence[LaneOutcome], steps: int
+    ) -> None:
+        """End-of-run aggregates under the stable ``sim.batch.*`` names."""
+        metrics = self._metrics
+        assert metrics is not None
+        metrics.counter("sim.batch.runs").add(1)
+        metrics.counter("sim.batch.lanes").add(len(self.lanes))
+        metrics.counter("sim.batch.groups").add(self.n_groups)
+        metrics.counter("sim.batch.steps").add(steps)
+        results = [o for o in outcomes if isinstance(o, SimulationResult)]
+        metrics.counter("sim.batch.deadlocked_lanes").add(
+            len(outcomes) - len(results)
+        )
+        metrics.counter("sim.batch.iterations").add(
+            sum(sum(r.iterations.values()) for r in results)
+        )
+        metrics.counter("sim.batch.transfers").add(
+            sum(sum(r.channel_transfers.values()) for r in results)
+        )
+        metrics.counter("sim.batch.compute_cycles").add(
+            sum(sum(r.compute_cycles.values()) for r in results)
+        )
+        metrics.counter("sim.batch.stall_cycles").add(
+            sum(sum(r.stall_cycles.values()) for r in results)
+        )
+
+
+def simulate_batch(
+    system: SystemGraph,
+    lanes: Sequence[BatchLane],
+    ordering: ChannelOrdering | None = None,
+    iterations: int = 64,
+    watch: str | None = None,
+    max_steps: int | None = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> list[SimulationResult]:
+    """One-call convenience wrapper around :class:`BatchSimulator`.
+
+    Raises :class:`SimulationDeadlock` if any lane deadlocks (use
+    :meth:`BatchSimulator.run` with ``on_deadlock="capture"`` for
+    per-lane outcomes).
+    """
+    outcomes = BatchSimulator(
+        system, ordering, lanes=lanes, metrics=metrics
+    ).run(iterations=iterations, watch=watch, max_steps=max_steps)
+    return [outcome for outcome in outcomes if isinstance(outcome, SimulationResult)]

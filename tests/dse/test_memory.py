@@ -40,6 +40,30 @@ class TestMemoryModel:
         assert model(motivating.channel("d")) == 30.0  # latency 3
         assert model(motivating.channel("b")) == 10.0
 
+    def test_zero_latency_slot_is_not_free(self, motivating):
+        """Regression: a zero-latency buffered channel's slots must still
+        cost storage.
+
+        The model used to price a slot at ``area_per_latency_cycle *
+        latency``, handing zero-latency channels unlimited free slots
+        that ``co_optimize`` would happily buy.  The public constructor
+        enforces ``latency >= 1``, so bypass validation the way a
+        hand-built or future relaxed model could.
+        """
+        import copy
+
+        zero = copy.copy(motivating.channel("b"))
+        object.__setattr__(zero, "latency", 0)
+        model = volume_proportional_slot_area(area_per_latency_cycle=10.0)
+        assert model(zero) == 10.0  # floored at one latency cycle
+
+    def test_min_slot_area_parameter(self, motivating):
+        model = volume_proportional_slot_area(
+            area_per_latency_cycle=10.0, min_slot_area=25.0
+        )
+        assert model(motivating.channel("b")) == 25.0  # latency 1, floored
+        assert model(motivating.channel("d")) == 30.0  # latency 3, above
+
     def test_memory_area_sums_slots(self, motivating):
         model = volume_proportional_slot_area(10.0)
         total = memory_area(
@@ -97,3 +121,37 @@ class TestCoOptimize:
         rendezvous = [n for n, c in result.capacities.items() if c == 0]
         assert rendezvous  # not every channel needs a buffer for CT 11
         assert result.feasible
+
+
+class TestEscalationErrorHandling:
+    """Regression: the reordering step used to swallow *every* exception
+    ("ordering failures keep current"), hiding real programming errors.
+    Only domain errors may keep the current ordering."""
+
+    def test_programming_errors_propagate(self, setup, monkeypatch):
+        import repro.ordering.algorithm as algorithm
+        from repro.dse.memory import _escalate_with_buffers
+
+        def broken(system, **kwargs):
+            raise RuntimeError("bug in channel_ordering")
+
+        monkeypatch.setattr(algorithm, "channel_ordering", broken)
+        with pytest.raises(RuntimeError, match="bug in channel_ordering"):
+            _escalate_with_buffers(setup, target_cycle_time=10,
+                                   max_capacity=16)
+
+    def test_domain_errors_keep_current_ordering(self, setup, monkeypatch):
+        import repro.ordering.algorithm as algorithm
+        from repro.dse.memory import _escalate_with_buffers
+        from repro.errors import DeadlockError
+
+        def refusing(system, **kwargs):
+            raise DeadlockError("no live ordering from here")
+
+        monkeypatch.setattr(algorithm, "channel_ordering", refusing)
+        candidate, _, sized = _escalate_with_buffers(
+            setup, target_cycle_time=10, max_capacity=16
+        )
+        # The escalation carried on with the configuration's own ordering.
+        assert candidate.ordering is setup.ordering
+        assert sized.feasible

@@ -67,6 +67,31 @@ class TestCli:
             ["simulate", system_file, "--ordering", str(ord_path)]
         ) == 1
 
+    def test_simulate_batch(self, system_file, capsys):
+        assert main(
+            ["simulate", system_file, "--batch", "4", "--iterations", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch: 4 lanes" in out
+        assert out.count("lane") >= 4
+        assert "bit-identical to the scalar engine" in out
+
+    def test_simulate_batch_default_lane_count(self, system_file, capsys):
+        assert main(
+            ["simulate", system_file, "--batch", "--iterations", "30"]
+        ) == 0
+        assert "batch: 8 lanes" in capsys.readouterr().out
+
+    def test_simulate_batch_deadlock_exit_code(self, system_file, tmp_path):
+        ord_path = tmp_path / "dead.json"
+        save_ordering(
+            motivating_deadlock_ordering(motivating_example()), ord_path
+        )
+        assert main(
+            ["simulate", system_file, "--ordering", str(ord_path),
+             "--batch", "2"]
+        ) == 1
+
     def test_mpeg2_table1(self, capsys):
         assert main(["mpeg2", "--experiment", "table1"]) == 0
         out = capsys.readouterr().out
