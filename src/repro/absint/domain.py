@@ -1,0 +1,39 @@
+"""The interval abstract domain of channel occupancies.
+
+A buffered channel's occupancy is a bounded integer; the abstract
+interpreter tracks one closed interval ``[lo, hi]`` per channel and joins
+over every interleaving.  The domain is a complete lattice under interval
+inclusion (bottom is represented implicitly — a channel always has at
+least its initial occupancy, so analysis starts from the singleton
+``[m0, m0]`` and only ever widens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValidationError(
+                f"empty interval [{self.lo}, {self.hi}]"
+            )
+
+    def join(self, other: "Interval") -> "Interval":
+        """The smallest interval containing both operands (lattice join)."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def format(self) -> str:
+        return f"[{self.lo}, {self.hi}]"

@@ -1,0 +1,136 @@
+"""The structural marked-graph view the static analyses reason over.
+
+:func:`marked_places` flattens a :class:`~repro.ir.LoweredIR` into the
+exact place structure :func:`repro.model.build.build_tmg` generates —
+channel data/credit places for buffered channels, one cyclic chain of
+statement places per process, one initial token per chain — but without
+constructing a :class:`~repro.tmg.graph.TimedMarkedGraph` (the static
+analyses never need delays, only the *token topology*).  Transition and
+place names follow the systematic scheme of :mod:`repro.model.build`
+(``ch:a``, ``ch:a.put``/``ch:a.get``, ``proc:P2``, ``P2/put:b``), so
+every certificate and invariant maps back to the performance model by
+name; ``tests/absint/test_structure.py`` pins the two constructions
+place-for-place against each other.
+
+Soundness hinges on this view being *exactly* the blocking-protocol TMG:
+the token count of every directed cycle of a marked graph is invariant
+under firing, and (Commoner's theorem for marked graphs) the graph is
+live if and only if no cycle is token-free.  Both the occupancy
+tightening pass (:mod:`repro.absint.invariants`) and the
+deadlock-freedom certificate (:mod:`repro.absint.certificate`) are
+corollaries of those two facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.ir import OP_COMPUTE, OP_GET, LoweredIR
+
+#: Name scheme shared with :mod:`repro.model.build` (pinned by test).
+_CHANNEL_PREFIX = "ch:"
+_PROCESS_PREFIX = "proc:"
+_PUT_SUFFIX = ".put"
+_GET_SUFFIX = ".get"
+
+
+def channel_transition(channel: str) -> str:
+    """Transition name of a (rendezvous) channel."""
+    return _CHANNEL_PREFIX + channel
+
+
+def buffered_put_transition(channel: str) -> str:
+    """Producer-side transition name of a buffered channel."""
+    return _CHANNEL_PREFIX + channel + _PUT_SUFFIX
+
+
+def buffered_get_transition(channel: str) -> str:
+    """Consumer-side transition name of a buffered channel."""
+    return _CHANNEL_PREFIX + channel + _GET_SUFFIX
+
+
+def process_transition(process: str) -> str:
+    """Transition name of a process's computation phase."""
+    return _PROCESS_PREFIX + process
+
+
+def data_place(channel: str) -> str:
+    """The FIFO place holding a buffered channel's queued items."""
+    return f"{channel}/data"
+
+
+def credit_place(channel: str) -> str:
+    """The FIFO place holding a buffered channel's free slots."""
+    return f"{channel}/credit"
+
+
+@dataclass(frozen=True)
+class MarkedPlace:
+    """One place of the structural marked graph.
+
+    Attributes:
+        name: The systematic place name (``P2/put:b``, ``c/data``, ...).
+        source: The transition producing into this place.
+        target: The transition consuming from this place.
+        tokens: The initial marking.
+    """
+
+    name: str
+    source: str
+    target: str
+    tokens: int
+
+
+def marked_places(ir: LoweredIR) -> tuple[MarkedPlace, ...]:
+    """The full place set of the blocking-protocol marked graph of ``ir``.
+
+    Deterministic: places come out in the IR's declaration order (channel
+    data/credit pairs first, then each process's chain), so two IRs with
+    the same structural hash yield the same place sequence name-for-name.
+    """
+    return tuple(_iter_places(ir))
+
+
+def _iter_places(ir: LoweredIR) -> Iterator[MarkedPlace]:
+    for cid, channel in enumerate(ir.channels):
+        if not ir.buffered[cid]:
+            continue
+        initial = ir.initial_tokens[cid]
+        put_t = buffered_put_transition(channel)
+        get_t = buffered_get_transition(channel)
+        yield MarkedPlace(data_place(channel), put_t, get_t, initial)
+        yield MarkedPlace(
+            credit_place(channel),
+            get_t,
+            put_t,
+            ir.effective_capacities[cid] - initial,
+        )
+    for pid, process in enumerate(ir.processes):
+        kinds = ir.op_kinds[pid]
+        args = ir.op_args[pid]
+        transitions: list[str] = []
+        names: list[str] = []
+        for op, arg in zip(kinds, args):
+            if op == OP_COMPUTE:
+                transitions.append(process_transition(process))
+                names.append(f"{process}/comp")
+                continue
+            channel = ir.channels[arg]
+            if not ir.buffered[arg]:
+                transitions.append(channel_transition(channel))
+            elif op == OP_GET:
+                transitions.append(buffered_get_transition(channel))
+            else:
+                transitions.append(buffered_put_transition(channel))
+            kind = "get" if op == OP_GET else "put"
+            names.append(f"{process}/{kind}:{channel}")
+        first_marked = ir.first_marked[pid]
+        n = len(kinds)
+        for i in range(n):
+            yield MarkedPlace(
+                names[i],
+                transitions[(i - 1) % n],
+                transitions[i],
+                1 if i == first_marked else 0,
+            )

@@ -68,17 +68,73 @@ def _write_text(text: str, path: str, what: str) -> None:
         ) from error
 
 
+def _parse_rule_list(raw: str | None) -> list[str] | None:
+    """Parse a comma-separated rule selector list (``--select``/``--ignore``).
+
+    Tokens are stripped and empty entries dropped, so
+    ``--select "ERM101, ERM201"`` and a trailing comma both work; an
+    all-empty value (``""``, ``","``) means "no filter", same as the
+    flag being absent.
+    """
+    if raw is None:
+        return None
+    tokens = [token.strip() for token in raw.split(",")]
+    cleaned = [token for token in tokens if token]
+    return cleaned or None
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.absint import analyze as absint_analyze
+    from repro.absint import format_result, result_to_dict
+
     system = load_system(args.system)
     ordering = _load_ordering_arg(system, args.ordering)
+    static = absint_analyze(system, ordering)
+
+    if static.token_free_cycle is not None:
+        # No cycle time exists for a deadlocked configuration; the
+        # static report (with the witness cycle) is the whole answer.
+        if args.format == "json":
+            payload = {
+                "system": system.name,
+                "performance": None,
+                "static": result_to_dict(static),
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(format_result(static), end="")
+        print(
+            f"deadlock: {system.name!r} has a token-free cycle; "
+            "run `ermes lint` for the diagnosis",
+            file=sys.stderr,
+        )
+        return 1
+
     performance = analyze_system(
         system, ordering, engine=Engine(args.engine), exact=not args.float
     )
+    if args.format == "json":
+        payload = {
+            "system": system.name,
+            "performance": {
+                "cycle_time": float(performance.cycle_time),
+                "throughput": float(performance.throughput),
+                "critical_processes": list(performance.critical_processes),
+                "critical_channels": list(performance.critical_channels),
+            },
+            "static": result_to_dict(static),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"system:            {system.name}")
     print(f"cycle time:        {performance.cycle_time}")
     print(f"throughput:        {float(performance.throughput):.6g} items/cycle")
     print(f"critical processes: {', '.join(performance.critical_processes)}")
     print(f"critical channels:  {', '.join(performance.critical_channels)}")
+    print()
+    print(format_result(static), end="")
     return 0
 
 
@@ -287,8 +343,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     ordering = None
     if args.ordering:
         ordering = load_ordering(args.ordering)
-    select = args.select.split(",") if args.select else None
-    ignore = args.ignore.split(",") if args.ignore else None
+    select = _parse_rule_list(args.select)
+    ignore = _parse_rule_list(args.ignore)
     result = lint_system(
         system, ordering, library=None, select=select, ignore=ignore
     )
@@ -762,13 +818,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("analyze", help="cycle time and critical cycle")
+    p = sub.add_parser(
+        "analyze",
+        help="cycle time, critical cycle, and static dataflow analysis "
+             "(occupancy bounds, token invariants, deadlock-freedom "
+             "certificate)",
+    )
     p.add_argument("system", help="system JSON file")
     p.add_argument("--ordering", help="ordering JSON file")
     p.add_argument("--engine", default="howard",
                    choices=[e.value for e in Engine])
     p.add_argument("--float", action="store_true",
                    help="float arithmetic (faster on huge systems)")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="json emits the performance summary plus the full "
+                        "static-analysis document (bounds, invariants, "
+                        "certificate)")
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser(

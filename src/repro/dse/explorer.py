@@ -39,6 +39,7 @@ from repro.perf.cache import LruCache
 from repro.perf.engine import PerformanceEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir import LoweredIR
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.profile import DseProfiler
 
@@ -428,7 +429,17 @@ class Explorer:
         config: SystemConfiguration,
         metrics: "MetricsRegistry | None",
     ) -> None:
-        """Exhaustively check Algorithm 1's output on small systems.
+        """Check Algorithm 1's output: static preflight, then BFS.
+
+        The abstract-interpretation preflight (:mod:`repro.absint`) runs
+        first at every scale.  A statically-proved deadlock (token-free
+        cycle) prunes the candidate immediately by raising
+        :class:`~repro.errors.DeadlockError` — no state-space search is
+        ever spent on it.  A validated deadlock-freedom certificate is
+        the *only* guarantee available above
+        :data:`~repro.verify.checker.SMALL_SYSTEM_LIMIT`; on small
+        systems the exhaustive BFS still runs as an independent
+        cross-check of both the certificate and Algorithm 1.
 
         A :class:`~repro.errors.DeadlockError` propagates (a verified
         deadlock in a safe-by-construction ordering is an engine bug); a
@@ -438,12 +449,33 @@ class Explorer:
         """
         if not self.verify:
             return
+        from repro.absint import analyze, check_certificate
         from repro.errors import BudgetExceeded
         from repro.verify.checker import is_small_system, verify_ordering
 
+        if metrics is not None:
+            metrics.counter("dse.absint.runs").add(1)
+        static = analyze(config.system, config.ordering)
+        if static.token_free_cycle is not None:
+            if metrics is not None:
+                metrics.counter("dse.absint.deadlock_pruned").add(1)
+            cycle_text = " -> ".join(static.token_free_cycle)
+            raise DeadlockError(
+                f"static preflight pruned the ordering for "
+                f"{config.system.name!r}: token-free cycle {cycle_text}",
+                cycle=list(static.token_free_cycle),
+            )
+        certificate = static.certificate
+        assert certificate is not None  # no cycle => certified
         if not is_small_system(config.system):
+            # Beyond BFS scale the certificate *is* the verification:
+            # re-validate it independently before accepting.
+            check_certificate(self._lowered(config), certificate)
+            if metrics is not None:
+                metrics.counter("dse.absint.certified").add(1)
             return
         if metrics is not None:
+            metrics.counter("dse.absint.bfs_crosschecks").add(1)
             metrics.counter("dse.verify.runs").add(1)
         try:
             verify_ordering(
@@ -456,6 +488,12 @@ class Explorer:
         except BudgetExceeded:
             if metrics is not None:
                 metrics.counter("dse.verify.inconclusive").add(1)
+
+    @staticmethod
+    def _lowered(config: SystemConfiguration) -> "LoweredIR":
+        from repro.ir import lower
+
+        return lower(config.system, config.ordering)
 
     def _measure_batch(
         self,

@@ -20,6 +20,7 @@ from repro.errors import DeadlockError, ReproError
 from repro.perf.engine import PerformanceEngine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.absint import AbsIntResult
     from repro.hls.pareto import ImplementationLibrary
     from repro.ir import LoweredIR
     from repro.model.performance import SystemPerformance
@@ -63,6 +64,7 @@ class LintContext:
         self._dead_loops: list[tuple[str, ...]] | None = None
         self._verification: object = _UNSET
         self._ir: object = _UNSET
+        self._absint: object = _UNSET
 
     # ------------------------------------------------------------------
     # Structural soundness
@@ -123,6 +125,26 @@ class LintContext:
         """
         ir = self.ir()
         return ir.structural_hash if ir is not None else None
+
+    def absint(self) -> "AbsIntResult | None":
+        """The abstract-interpretation facts of the configuration.
+
+        Occupancy bounds, dead channels, unreachable statements, and the
+        deadlock-freedom certificate (:func:`repro.absint.analyze_ir`),
+        or ``None`` when the configuration is not sound.  Served from the
+        absint result cache keyed on the IR's content address, so the
+        verifier and the explorer running after a lint pre-flight reuse
+        this exact result.
+        """
+        if self._absint is _UNSET:
+            ir = self.ir()
+            if ir is None:
+                self._absint = None
+            else:
+                from repro.absint import analyze_ir
+
+                self._absint = analyze_ir(ir)
+        return self._absint  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Deadlock facts

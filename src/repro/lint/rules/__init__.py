@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.lint.registry import RuleRegistry
+from repro.lint.rules.absint import register_absint
 from repro.lint.rules.deadlock import register_deadlock
 from repro.lint.rules.hygiene import register_hygiene
 from repro.lint.rules.performance import register_performance
@@ -17,10 +18,12 @@ def register_builtin_rules(registry: RuleRegistry) -> RuleRegistry:
     register_performance(registry)
     register_hygiene(registry)
     register_verification(registry)
+    register_absint(registry)
     return registry
 
 
 __all__ = [
+    "register_absint",
     "register_builtin_rules",
     "register_deadlock",
     "register_hygiene",

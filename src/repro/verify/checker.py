@@ -120,6 +120,7 @@ def check_deadlock(
     por: bool = True,
     budget_states: int = DEFAULT_BUDGET_STATES,
     budget_seconds: float | None = None,
+    use_certificate: bool = False,
     metrics: "MetricsRegistry | None" = None,
 ) -> VerificationResult:
     """Exhaustively decide deadlock reachability, within budget.
@@ -133,12 +134,48 @@ def check_deadlock(
         budget_states: Hard cap on states expanded; exceeding it yields
             an ``INCONCLUSIVE`` verdict, never a silent pass.
         budget_seconds: Optional wall-clock cap with the same contract.
+        use_certificate: Try a static deadlock-freedom certificate
+            (:mod:`repro.absint`) before searching.  When one is issued
+            *and independently re-validated* against the lowered IR, the
+            run returns ``DEADLOCK_FREE`` with zero states explored —
+            the budgets never come into play, so verification stays on
+            at scales the BFS cannot touch.  When no certificate exists
+            the search proceeds exactly as without the flag.  Off by
+            default: callers pinning budget semantics (and the ERM5xx
+            lint rules, whose job is the exhaustive answer) keep the
+            plain search.
         metrics: Optional registry; the run reports under the stable
             ``verify.*`` names (``docs/OBSERVABILITY.md``).
     """
     if budget_states < 1:
         raise ValueError("budget_states must be >= 1")
     ts = TransitionSystem(system, ordering)
+    if use_certificate:
+        from repro.absint import analyze_ir, check_certificate
+
+        certificate = analyze_ir(ts.ir).certificate
+        if certificate is not None:
+            check_certificate(ts.ir, certificate)
+            if metrics is not None:
+                metrics.counter("verify.runs").add(1)
+                metrics.counter("verify.certificates.accepted").add(1)
+            return VerificationResult(
+                verdict=Verdict.DEADLOCK_FREE,
+                witness=None,
+                states_explored=0,
+                transitions_fired=0,
+                por_pruned=0,
+                state_space_bound=ts.state_space_bound(),
+                elapsed_s=0.0,
+                budget_states=budget_states,
+                budget_seconds=budget_seconds,
+                reason=(
+                    "validated siphon-ranking certificate "
+                    f"(ir {certificate.ir_hash[:12]}...) proves "
+                    "deadlock-freedom without search"
+                ),
+                por=por,
+            )
     timer_cm = (
         metrics.timer("verify.search") if metrics is not None else None
     )
@@ -274,6 +311,7 @@ def verify_ordering(
     por: bool = True,
     budget_states: int = DEFAULT_BUDGET_STATES,
     budget_seconds: float | None = None,
+    use_certificate: bool = False,
     metrics: "MetricsRegistry | None" = None,
 ) -> VerificationResult:
     """Machine-check that ``ordering`` cannot deadlock — strictly.
@@ -283,7 +321,10 @@ def verify_ordering(
     :class:`~repro.errors.DeadlockError` carrying the witness cycle, and
     an ``INCONCLUSIVE`` verdict raises
     :class:`~repro.errors.BudgetExceeded` — a budget can defer the
-    guarantee, never silently grant it.
+    guarantee, never silently grant it.  With ``use_certificate=True`` a
+    validated static certificate short-circuits the search entirely (see
+    :func:`check_deadlock`), which is what lifts the
+    :data:`SMALL_SYSTEM_LIMIT` gate at MPEG-2 scale.
     """
     result = check_deadlock(
         system,
@@ -291,6 +332,7 @@ def verify_ordering(
         por=por,
         budget_states=budget_states,
         budget_seconds=budget_seconds,
+        use_certificate=use_certificate,
         metrics=metrics,
     )
     if result.verdict is Verdict.INCONCLUSIVE:

@@ -1,0 +1,57 @@
+"""Text and JSON renderings of the analysis result."""
+
+from __future__ import annotations
+
+import json
+
+from repro.absint import analyze, format_result, result_to_dict
+
+
+class TestFormatResult:
+    def test_certified_report(self, motivating, optimal_ordering):
+        text = format_result(analyze(motivating, optimal_ordering))
+        assert "static analysis of" in text
+        assert "deadlock-freedom: CERTIFIED" in text
+        assert "siphon-ranking" in text
+
+    def test_refuted_report_names_the_cycle(
+        self, motivating, deadlock_ordering
+    ):
+        result = analyze(motivating, deadlock_ordering)
+        text = format_result(result)
+        assert "deadlock-freedom: REFUTED" in text
+        assert result.token_free_cycle is not None
+        assert result.token_free_cycle[0] in text
+        assert "dead channels:" in text
+
+    def test_process_cycle_invariants_are_condensed(
+        self, motivating, optimal_ordering
+    ):
+        text = format_result(analyze(motivating, optimal_ordering))
+        assert "[process-cycle]" in text
+        # One summary line, not one line per process chain.
+        assert text.count("[process-cycle]") == 1
+
+    def test_rendering_is_deterministic(self, motivating, optimal_ordering):
+        first = format_result(analyze(motivating, optimal_ordering))
+        second = format_result(analyze(motivating, optimal_ordering))
+        assert first == second
+
+
+class TestResultToDict:
+    def test_document_is_json_serializable(
+        self, motivating, optimal_ordering
+    ):
+        document = result_to_dict(analyze(motivating, optimal_ordering))
+        restored = json.loads(json.dumps(document, sort_keys=True))
+        assert restored["system"] == motivating.name
+        assert restored["deadlock_free"] is True
+        assert restored["certificate"]["method"] == "siphon-ranking"
+        assert restored["token_free_cycle"] is None
+
+    def test_refuted_document(self, motivating, deadlock_ordering):
+        document = result_to_dict(analyze(motivating, deadlock_ordering))
+        assert document["deadlock_free"] is False
+        assert document["certificate"] is None
+        assert document["token_free_cycle"]
+        assert document["dead_channels"]

@@ -1,0 +1,91 @@
+"""``marked_places`` must mirror the TMG builder's place set exactly.
+
+The certificate checker never materialises a ``TimedMarkedGraph`` — it
+walks :class:`~repro.absint.structure.MarkedPlace` tuples derived
+straight from the IR tables.  The soundness of everything downstream
+(token invariants, the Commoner ranking, min-token cycle bounds) rests
+on those tuples matching :func:`repro.model.build_tmg`'s places
+field-for-field, so this suite pins the two constructions against each
+other on the shipped examples and on random layered systems.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.absint import marked_places
+from repro.core import ChannelOrdering
+from repro.ir import lower
+from repro.model import build_tmg
+from tests.strategies import layered_systems
+
+
+def _tmg_places(system, ordering):
+    model = build_tmg(system, ordering)
+    return {(p.name, p.source, p.target, p.tokens) for p in model.tmg.places}
+
+
+def _absint_places(system, ordering):
+    ir = lower(system, ordering)
+    return {(p.name, p.source, p.target, p.tokens) for p in marked_places(ir)}
+
+
+class TestMirrorsBuildTmg:
+    def test_motivating_declaration_order(self, motivating):
+        ordering = ChannelOrdering.declaration_order(motivating)
+        assert _absint_places(motivating, ordering) == _tmg_places(
+            motivating, ordering
+        )
+
+    def test_motivating_deadlock_ordering(self, motivating, deadlock_ordering):
+        assert _absint_places(motivating, deadlock_ordering) == _tmg_places(
+            motivating, deadlock_ordering
+        )
+
+    def test_buffered_split_places(self, feedback_system):
+        ordering = ChannelOrdering.declaration_order(feedback_system)
+        places = _absint_places(feedback_system, ordering)
+        assert places == _tmg_places(feedback_system, ordering)
+        names = {name for name, *_ in places}
+        # The pre-loaded feedback channel uses the split (data/credit)
+        # buffered model.
+        assert "y/data" in names
+        assert "y/credit" in names
+
+    @settings(max_examples=50, deadline=None)
+    @given(system=layered_systems())
+    def test_random_layered_systems(self, system):
+        ordering = ChannelOrdering.declaration_order(system)
+        assert _absint_places(system, ordering) == _tmg_places(
+            system, ordering
+        )
+
+
+class TestTokenAccounting:
+    def test_data_plus_credit_is_effective_capacity(self, feedback_system):
+        ordering = ChannelOrdering.declaration_order(feedback_system)
+        ir = lower(feedback_system, ordering)
+        by_name = {p.name: p for p in marked_places(ir)}
+        for cid, channel in enumerate(ir.channels):
+            if not ir.buffered[cid]:
+                continue
+            data = by_name[f"{channel}/data"]
+            credit = by_name[f"{channel}/credit"]
+            assert data.tokens == ir.initial_tokens[cid]
+            assert (
+                data.tokens + credit.tokens == ir.effective_capacities[cid]
+            )
+
+    def test_each_process_chain_carries_one_token(self, motivating):
+        ordering = ChannelOrdering.declaration_order(motivating)
+        ir = lower(motivating, ordering)
+        tokens_by_process: dict[str, int] = {}
+        for place in marked_places(ir):
+            owner, _, rest = place.name.partition("/")
+            if not rest or rest in ("data", "credit"):
+                continue
+            tokens_by_process[owner] = (
+                tokens_by_process.get(owner, 0) + place.tokens
+            )
+        assert tokens_by_process
+        assert all(total == 1 for total in tokens_by_process.values())

@@ -1,0 +1,92 @@
+"""``ermes analyze`` end to end: performance plus the static report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    motivating_deadlock_ordering,
+    motivating_example,
+    motivating_optimal_ordering,
+    save_ordering,
+    save_system,
+)
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    system = motivating_example()
+    system_path = tmp_path / "sys.json"
+    save_system(system, system_path)
+    out = {"system": str(system_path)}
+    for label, ordering in (
+        ("dead", motivating_deadlock_ordering(system)),
+        ("best", motivating_optimal_ordering(system)),
+    ):
+        path = tmp_path / f"{label}.json"
+        save_ordering(ordering, path)
+        out[label] = str(path)
+    return out
+
+
+class TestTextFormat:
+    def test_live_design_reports_performance_and_certificate(
+        self, paths, capsys
+    ):
+        code = main(
+            ["analyze", paths["system"], "--ordering", paths["best"]]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cycle time:" in out
+        assert "static analysis of" in out
+        assert "deadlock-freedom: CERTIFIED" in out
+
+    def test_deadlocked_design_exits_one_with_the_cycle(
+        self, paths, capsys
+    ):
+        code = main(
+            ["analyze", paths["system"], "--ordering", paths["dead"]]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "deadlock-freedom: REFUTED" in captured.out
+        assert "cycle time:" not in captured.out
+        assert "token-free cycle" in captured.err
+
+
+class TestJsonFormat:
+    def test_live_payload(self, paths, capsys):
+        code = main(
+            ["analyze", paths["system"], "--ordering", paths["best"],
+             "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "motivating"
+        assert payload["performance"]["cycle_time"] > 0
+        static = payload["static"]
+        assert static["deadlock_free"] is True
+        assert static["certificate"]["method"] == "siphon-ranking"
+
+    def test_deadlocked_payload_has_no_performance(self, paths, capsys):
+        code = main(
+            ["analyze", paths["system"], "--ordering", paths["dead"],
+             "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["performance"] is None
+        assert payload["static"]["deadlock_free"] is False
+        assert payload["static"]["token_free_cycle"]
+
+    def test_payload_is_stable(self, paths, capsys):
+        args = ["analyze", paths["system"], "--ordering", paths["best"],
+                "--format", "json"]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        assert capsys.readouterr().out == first

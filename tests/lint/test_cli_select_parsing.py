@@ -1,0 +1,81 @@
+"""Regression: ``--select``/``--ignore`` lists survive sloppy commas.
+
+``ermes lint --select "ERM1, ERM2"`` used to forward the literal token
+``" ERM2"`` (leading space) to the registry, which rejected it as an
+unknown selector.  The CLI now strips whitespace around each token and
+drops empty ones (trailing commas, doubled commas).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    motivating_example,
+    motivating_suboptimal_ordering,
+    save_ordering,
+    save_system,
+)
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    system = motivating_example()
+    system_path = tmp_path / "sys.json"
+    save_system(system, system_path)
+    ordering_path = tmp_path / "slow.json"
+    save_ordering(motivating_suboptimal_ordering(system), ordering_path)
+    return {"system": str(system_path), "slow": str(ordering_path)}
+
+
+def _rules(capsys):
+    doc = json.loads(capsys.readouterr().out)
+    return {d["rule"] for d in doc["diagnostics"]}
+
+
+class TestSelectParsing:
+    def test_spaces_after_commas_are_accepted(self, paths, capsys):
+        code = main(
+            ["lint", paths["system"], "--ordering", paths["slow"],
+             "--select", "ERM3, ERM4", "--format", "json"]
+        )
+        assert code == 0
+        rules = _rules(capsys)
+        assert "ERM301" in rules
+        assert all(rule.startswith(("ERM3", "ERM4")) for rule in rules)
+
+    def test_trailing_comma_is_accepted(self, paths, capsys):
+        code = main(
+            ["lint", paths["system"], "--ordering", paths["slow"],
+             "--select", "ERM3,", "--format", "json"]
+        )
+        assert code == 0
+        assert _rules(capsys) == {"ERM301"}
+
+    def test_doubled_commas_are_accepted(self, paths, capsys):
+        code = main(
+            ["lint", paths["system"], "--ordering", paths["slow"],
+             "--ignore", "ERM3,, ERM4 ,", "--format", "json"]
+        )
+        assert code == 0
+        assert "ERM301" not in _rules(capsys)
+
+    def test_all_empty_selector_list_means_no_filter(self, paths, capsys):
+        # ``--select ","`` parses to an empty list, which must behave
+        # like no --select at all rather than selecting nothing.
+        code = main(
+            ["lint", paths["system"], "--ordering", paths["slow"],
+             "--select", ",", "--format", "json"]
+        )
+        assert code == 0
+        assert "ERM301" in _rules(capsys)
+
+    def test_unknown_selector_still_exits_two(self, paths, capsys):
+        code = main(
+            ["lint", paths["system"], "--select", "ERM3, ERM9"]
+        )
+        assert code == 2
+        assert "matches no registered rule" in capsys.readouterr().err

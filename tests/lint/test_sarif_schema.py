@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 conformance of the lint exporter.
+
+Validates :func:`repro.lint.render.sarif_dict` against a vendored
+draft-07 subset of the OASIS ``sarif-schema-2.1.0`` (see
+``sarif-2.1.0.schema.json`` next to this file) plus the cross-document
+invariants a schema cannot express: every ``ruleIndex`` must point at
+the driver rule carrying the result's ``ruleId``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.lint import lint_system
+from repro.lint.render import render_sarif, sarif_dict
+
+SCHEMA = json.loads(
+    (Path(__file__).parent / "sarif-2.1.0.schema.json").read_text()
+)
+
+
+def _validate(document):
+    jsonschema.Draft7Validator(SCHEMA).validate(document)
+
+
+@pytest.fixture()
+def clean_log(motivating, optimal_ordering):
+    return sarif_dict(lint_system(motivating, optimal_ordering))
+
+
+@pytest.fixture()
+def deadlock_log(motivating, deadlock_ordering):
+    return sarif_dict(lint_system(motivating, deadlock_ordering))
+
+
+class TestSchemaConformance:
+    def test_clean_run_conforms(self, clean_log):
+        _validate(clean_log)
+
+    def test_deadlock_run_conforms(self, deadlock_log):
+        _validate(deadlock_log)
+
+    def test_rendered_string_is_the_same_document(
+        self, motivating, deadlock_ordering
+    ):
+        result = lint_system(motivating, deadlock_ordering)
+        _validate(json.loads(render_sarif(result)))
+
+    def test_schema_rejects_a_broken_log(self, deadlock_log):
+        deadlock_log["runs"][0]["results"][0].pop("ruleId")
+        with pytest.raises(jsonschema.ValidationError):
+            _validate(deadlock_log)
+
+
+class TestCrossReferences:
+    def test_rule_indices_resolve_to_their_rule_ids(self, deadlock_log):
+        run = deadlock_log["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert run["results"], "deadlock run must report findings"
+        for result in run["results"]:
+            index = result["ruleIndex"]
+            assert rules[index]["id"] == result["ruleId"]
+
+    def test_driver_metadata_covers_the_dataflow_rules(self, clean_log):
+        rules = clean_log["runs"][0]["tool"]["driver"]["rules"]
+        ids = {rule["id"] for rule in rules}
+        assert {"ERM601", "ERM602", "ERM603", "ERM604"} <= ids
+        for rule in rules:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "none", "note", "warning", "error"
+            )
+
+    def test_dead_channels_reach_the_results_array(self, deadlock_log):
+        results = deadlock_log["runs"][0]["results"]
+        assert any(r["ruleId"] == "ERM602" for r in results)
