@@ -142,6 +142,14 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         bench="test_bench_absint.py",
     ),
     Experiment(
+        id="SHARD",
+        artifact="extension: sharded DSE service + artifact store",
+        claim="4 workers >= 2.5x on a 64-candidate sweep, outcomes "
+        "bit-identical to sequential; a warm store serves a fresh "
+        "process entirely from disk",
+        bench="test_bench_shard.py",
+    ),
+    Experiment(
         id="SIMD",
         artifact="extension: batched vectorized simulation",
         claim="64 DSE candidates in lock-step over one compiled IR "

@@ -775,6 +775,37 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ErmesService
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.store) if args.store else None
+    service = ErmesService(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store=store,
+        threads=args.threads,
+    )
+    service.start()
+    try:
+        print(f"ermes serve listening on {service.url}")
+        print(f"  workers: {args.workers}  threads: {args.threads}  "
+              f"store: {args.store or '(none)'}")
+        if args.for_seconds is not None:
+            # Bounded run: CI smoke tests and scripted demos start the
+            # service, exercise it, and rely on it exiting cleanly.
+            time.sleep(args.for_seconds)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.stop()
+    return 0
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
     perf_engine = None
@@ -1016,6 +1047,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="highlight the critical cycle")
     p.add_argument("-o", "--output")
     p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running batch endpoint: submit design JSON jobs over "
+             "HTTP, poll status, fetch results (docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8181,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="sharded-sweep worker processes")
+    p.add_argument("--threads", type=int, default=2,
+                   help="concurrent job-executor threads")
+    p.add_argument("--store",
+                   help="artifact-store directory (persistent cross-run "
+                        "cache); omit to run store-less")
+    p.add_argument("--for-seconds", type=float, default=None,
+                   help="serve for this long then exit 0 (smoke tests)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("scalability", help="synthetic SoC scalability sweep")
     p.add_argument("--sizes", default="100,1000,10000")

@@ -42,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ir import LoweredIR
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.profile import DseProfiler
+    from repro.store import ArtifactStore
 
 Number = Union[Fraction, float]
 
@@ -173,6 +174,19 @@ class Explorer:
             untouched: batching adds measurements, never decisions.
         batch_iterations: Iterations each batched lane runs for (the
             steady-state estimate uses the second half).
+        workers: Worker processes for the cross-validation measurement
+            pass.  ``> 1`` distributes the visited configurations over a
+            :class:`~repro.service.ShardedRunner` pool (workers receive
+            pickled IR work units) instead of the in-process batch
+            engine; measurements are bit-identical either way — the
+            scalar, batch, and sharded paths all execute the same
+            compiled program (differential-tested in
+            ``tests/dse/test_explorer_shard.py``).
+        store: Optional persistent :class:`~repro.store.ArtifactStore`.
+            Layered under the default performance engine's LRU (ignored
+            when ``perf_engine`` is supplied — configure that engine's
+            store directly) and shared with the sharded measurement
+            workers, so analyses and simulations survive the process.
     """
 
     def __init__(
@@ -187,6 +201,8 @@ class Explorer:
         profiler: "DseProfiler | None" = None,
         batch: bool | None = None,
         batch_iterations: int = 32,
+        workers: int = 1,
+        store: "ArtifactStore | None" = None,
     ):
         self.target_cycle_time = target_cycle_time
         self.max_iterations = max_iterations
@@ -194,7 +210,9 @@ class Explorer:
         self.verify = verify
         self.timing_area_budget = timing_area_budget
         self.engine_exact = engine_exact
-        self.perf_engine = perf_engine or PerformanceEngine()
+        self.workers = workers
+        self.store = store
+        self.perf_engine = perf_engine or PerformanceEngine(store=store)
         self.profiler = profiler
         if batch is None:
             from repro.sim.batch import batch_enabled_by_env
@@ -208,8 +226,17 @@ class Explorer:
 
     # ------------------------------------------------------------------
 
-    def run(self, config: SystemConfiguration) -> ExplorationResult:
+    def run(
+        self,
+        config: SystemConfiguration,
+        workers: int | None = None,
+    ) -> ExplorationResult:
         """Explore from ``config`` until convergence.
+
+        Args:
+            config: The starting configuration.
+            workers: Per-run override of the constructor's ``workers``
+                (the sharded measurement fan-out); ``None`` keeps it.
 
         Raises:
             LintError: When the structural pre-flight (``ERM1xx`` /
@@ -391,7 +418,9 @@ class Explorer:
         if self.batch:
             with timed("dse.batch"):
                 result.measured_cycle_times = self._measure_batch(
-                    trail, metrics
+                    trail,
+                    metrics,
+                    self.workers if workers is None else workers,
                 )
         if profiler is not None:
             profiler.end_run(result, self.perf_engine)
@@ -499,6 +528,7 @@ class Explorer:
         self,
         trail: list[tuple[int, SystemConfiguration]],
         metrics: "MetricsRegistry | None",
+        workers: int = 1,
     ) -> dict[int, Number | None]:
         """Simulate every visited configuration through the batch engine.
 
@@ -509,6 +539,12 @@ class Explorer:
         simulation deadlocks yields ``None`` (the analytic loop may walk
         through orderings simulation rejects; that disagreement is the
         point of cross-validation).
+
+        With ``workers > 1`` the same measurements are distributed over a
+        sharded worker pool instead — per-configuration scalar runs of
+        the same compiled program, so the two paths agree bit for bit
+        (the batch engine's SIMD guarantee composes with the shard
+        backend's sequential-identity guarantee).
         """
         from repro.errors import SimulationDeadlock
         from repro.sim.batch import BatchLane, BatchSimulator
@@ -521,6 +557,8 @@ class Explorer:
             groups.setdefault(
                 _ordering_fingerprint(cfg.ordering), []
             ).append((index, cfg))
+        if workers > 1:
+            return self._measure_sharded(groups, metrics, workers)
         for entries in groups.values():
             first = entries[0][1]
             sinks = first.system.sinks()
@@ -540,6 +578,46 @@ class Explorer:
                     if isinstance(outcome, SimulationDeadlock)
                     else outcome.measured_cycle_time(watch)
                 )
+        if metrics is not None:
+            metrics.counter("dse.batch.measured").add(len(measured))
+        return measured
+
+    def _measure_sharded(
+        self,
+        groups: dict[
+            OrderingFingerprint, list[tuple[int, SystemConfiguration]]
+        ],
+        metrics: "MetricsRegistry | None",
+        workers: int,
+    ) -> dict[int, Number | None]:
+        """Distribute the measurement pass over a worker pool.
+
+        One pool serves every ordering group; each configuration becomes
+        a latency-only work unit against its group's base design, and
+        the shared store (when attached) makes repeated trajectories —
+        sweeps warm-starting from neighbouring targets, re-runs of the
+        same design — cross-process cache hits.
+        """
+        from repro.service.shard import ShardedRunner
+        from repro.service.units import Candidate, WorkUnit
+
+        measured: dict[int, Number | None] = {}
+        with ShardedRunner(
+            workers=workers, store=self.store, metrics=metrics
+        ) as runner:
+            for entries in groups.values():
+                first = entries[0][1]
+                units = [
+                    WorkUnit(
+                        index=lane,
+                        candidate=Candidate.of(cfg.process_latencies()),
+                        iterations=self.batch_iterations,
+                    )
+                    for lane, (_, cfg) in enumerate(entries)
+                ]
+                outcomes = runner.run(first.system, first.ordering, units)
+                for (index, _), outcome in zip(entries, outcomes):
+                    measured[index] = outcome.measured_cycle_time
         if metrics is not None:
             metrics.counter("dse.batch.measured").add(len(measured))
         return measured

@@ -13,9 +13,14 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Sequence, Union
 
+from typing import TYPE_CHECKING
+
 from repro.dse.config import SystemConfiguration
 from repro.dse.explorer import ExplorationResult, Explorer
 from repro.perf.engine import PerformanceEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ArtifactStore
 
 Number = Union[Fraction, float]
 
@@ -42,6 +47,8 @@ def sweep_targets(
     targets: Sequence[Number],
     batch: bool | None = None,
     batch_iterations: int = 32,
+    workers: int = 1,
+    store: "ArtifactStore | None" = None,
     **explorer_kwargs,
 ) -> list[SweepPoint]:
     """Run one exploration per target cycle time (descending order).
@@ -69,6 +76,15 @@ def sweep_targets(
     :attr:`SweepPoint.measured_cycle_time` carries the simulated
     steady-state period (``None`` for a deadlocking lane).  Exploration
     outcomes are unchanged; batching only measures.
+
+    With ``workers > 1`` the measurement pass fans out over a
+    :class:`~repro.service.ShardedRunner` worker pool instead of the
+    in-process batch engine — measurements are bit-identical either way
+    — and a ``store`` makes every analysis and simulation artifact
+    persistent: a re-run of the same sweep (in this process or any
+    other) is served from disk.  The sweep's Pareto frontier itself is
+    filed in the store too (kind ``"pareto"``, keyed by the starting
+    design's IR hash and the target list).
     """
     from repro.ir import lower
     from repro.lint import preflight
@@ -79,8 +95,8 @@ def sweep_targets(
     # inside Explorer.run into a hash lookup, and the warm lowering memo
     # hands each target's first analysis its compiled program for free.
     preflight(config.system, config.ordering)
-    lower(config.system, config.ordering)
-    explorer_kwargs.setdefault("perf_engine", PerformanceEngine())
+    base_ir_hash = lower(config.system, config.ordering).structural_hash
+    explorer_kwargs.setdefault("perf_engine", PerformanceEngine(store=store))
     profiler = explorer_kwargs.get("profiler")
     points: list[SweepPoint] = []
     current = config
@@ -89,12 +105,18 @@ def sweep_targets(
             profiler.metrics.counter("sweep.targets").add(1)
             with profiler.metrics.timer("sweep.explore"):
                 result = Explorer(
-                    target_cycle_time=target, **explorer_kwargs
+                    target_cycle_time=target,
+                    workers=workers,
+                    store=store,
+                    **explorer_kwargs,
                 ).run(current)
         else:
-            result = Explorer(target_cycle_time=target, **explorer_kwargs).run(
-                current
-            )
+            result = Explorer(
+                target_cycle_time=target,
+                workers=workers,
+                store=store,
+                **explorer_kwargs,
+            ).run(current)
         record = result.final_record
         points.append(
             SweepPoint(
@@ -113,17 +135,51 @@ def sweep_targets(
 
         batch = batch_enabled_by_env()
     if batch and points:
-        points = _measure_points(points, batch_iterations, profiler)
+        points = _measure_points(
+            points, batch_iterations, profiler, workers=workers, store=store
+        )
+    if store is not None and points:
+        _store_frontier(store, base_ir_hash, targets, points)
     return points
 
 
-def _measure_points(points, batch_iterations, profiler):
+def _store_frontier(store, base_ir_hash, targets, points):
+    """File the sweep's Pareto frontier in the artifact store.
+
+    The payload is a compact summary (targets in, frontier out), not the
+    full per-target exploration results — the store holds *answers*, and
+    the answer of a sweep is its frontier.
+    """
+    from repro.store import params_digest
+
+    digest = params_digest(
+        {
+            "op": "pareto",
+            "targets": tuple(str(t) for t in sorted(targets)),
+        }
+    )
+    frontier = pareto_points(points)
+    payload = tuple(
+        {
+            "target_cycle_time": p.target_cycle_time,
+            "cycle_time": p.cycle_time,
+            "area": p.area,
+            "feasible": p.feasible,
+            "measured_cycle_time": p.measured_cycle_time,
+        }
+        for p in frontier
+    )
+    store.put(base_ir_hash, "pareto", digest, payload)
+
+
+def _measure_points(points, batch_iterations, profiler, workers=1, store=None):
     """Replay each point's final configuration through the batch engine.
 
     Points whose finals share an ordering share a compiled structure and
     batch into one lock-step run (their selections are latency-only lane
     overrides).  Returns new :class:`SweepPoint` instances with
-    ``measured_cycle_time`` attached.
+    ``measured_cycle_time`` attached.  ``workers > 1`` distributes the
+    same measurements over a sharded pool (bit-identical results).
     """
     from dataclasses import replace
 
@@ -141,6 +197,31 @@ def _measure_points(points, batch_iterations, profiler):
         ).append((i, cfg))
     metrics = profiler.metrics if profiler is not None else None
     measured: dict[int, Number | None] = {}
+    if workers > 1:
+        from repro.service.shard import ShardedRunner
+        from repro.service.units import Candidate, WorkUnit
+
+        with ShardedRunner(
+            workers=workers, store=store, metrics=metrics
+        ) as runner:
+            for entries in groups.values():
+                first = entries[0][1]
+                units = [
+                    WorkUnit(
+                        index=lane,
+                        candidate=Candidate.of(cfg.process_latencies()),
+                        iterations=batch_iterations,
+                    )
+                    for lane, (_, cfg) in enumerate(entries)
+                ]
+                outcomes = runner.run(first.system, first.ordering, units)
+                for (i, _), outcome in zip(entries, outcomes):
+                    measured[i] = outcome.measured_cycle_time
+        return [
+            replace(point, measured_cycle_time=measured[i])
+            if i in measured else point
+            for i, point in enumerate(points)
+        ]
     for entries in groups.values():
         first = entries[0][1]
         sinks = first.system.sinks()

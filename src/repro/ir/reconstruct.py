@@ -1,0 +1,98 @@
+"""Rebuild a ``(SystemGraph, ChannelOrdering)`` pair from a ``LoweredIR``.
+
+The service layer ships *pickled IRs* between processes — never live
+object models (``docs/ARCHITECTURE.md``'s contract).  A worker that
+receives an IR still needs object-model values to drive the public entry
+points (``Simulator``, ``preflight``, the performance engine), so this
+module inverts lowering:
+
+* :func:`system_from_ir` rebuilds a :class:`~repro.core.system.SystemGraph`
+  whose processes and channels appear in **pid/cid order** — the IR's
+  dense ids follow declaration order, so replaying them as declarations
+  reproduces an equivalent topology;
+* :func:`ordering_from_ir` rebuilds the :class:`ChannelOrdering` by
+  decoding each pid's opcode program back to its get/put sequences.
+
+The IR is latency-*free* for processes (by design — one IR serves every
+latency selection), so ``system_from_ir`` takes the effective latency
+table separately and defaults every process to latency 1 when none is
+given.
+
+The round-trip invariant — pinned by ``tests/ir/test_reconstruct.py``
+over the seed designs and random systems — is::
+
+    lower(system_from_ir(ir, lats), ordering_from_ir(ir)).structural_hash
+        == ir.structural_hash
+
+i.e. reconstruction loses nothing the hash covers, which is exactly what
+makes a pickled IR a complete work description for a remote worker.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.system import Channel, ChannelOrdering, Process, SystemGraph
+from repro.ir.program import KIND_ORDER, OP_GET, OP_PUT, LoweredIR
+
+__all__ = ["ordering_from_ir", "system_from_ir"]
+
+
+def system_from_ir(
+    ir: LoweredIR,
+    process_latencies: Mapping[str, int] | None = None,
+) -> SystemGraph:
+    """A ``SystemGraph`` equivalent to the one ``ir`` was lowered from.
+
+    Processes are declared in pid order and channels in cid order, so
+    the rebuilt graph's declaration order matches the original's — the
+    property the dense ids encode.  ``process_latencies`` supplies the
+    non-structural compute latencies (missing processes default to 1,
+    the :class:`~repro.core.system.Process` default).
+    """
+    latencies = dict(process_latencies or {})
+    system = SystemGraph(ir.system_name)
+    for pid, name in enumerate(ir.processes):
+        system.add_process(
+            Process(
+                name=name,
+                latency=latencies.get(name, 1),
+                kind=KIND_ORDER[ir.process_kinds[pid]],
+            )
+        )
+    for cid, name in enumerate(ir.channels):
+        system.add_channel(
+            Channel(
+                name=name,
+                producer=ir.processes[ir.producers[cid]],
+                consumer=ir.processes[ir.consumers[cid]],
+                latency=ir.channel_latencies[cid],
+                capacity=ir.capacities[cid],
+                initial_tokens=ir.initial_tokens[cid],
+            )
+        )
+    return system
+
+
+def ordering_from_ir(ir: LoweredIR) -> ChannelOrdering:
+    """The ``ChannelOrdering`` encoded in ``ir``'s opcode programs.
+
+    Each pid's program is ``gets…, compute, puts…`` in execution order;
+    decoding the ``OP_GET``/``OP_PUT`` arguments back to channel names
+    recovers exactly the per-process sequences the pair was lowered
+    with.
+    """
+    gets: dict[str, tuple[str, ...]] = {}
+    puts: dict[str, tuple[str, ...]] = {}
+    for pid, name in enumerate(ir.processes):
+        gets[name] = tuple(
+            ir.channels[arg]
+            for kind, arg in zip(ir.op_kinds[pid], ir.op_args[pid])
+            if kind == OP_GET
+        )
+        puts[name] = tuple(
+            ir.channels[arg]
+            for kind, arg in zip(ir.op_kinds[pid], ir.op_args[pid])
+            if kind == OP_PUT
+        )
+    return ChannelOrdering(gets=gets, puts=puts)

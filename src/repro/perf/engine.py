@@ -44,6 +44,7 @@ from repro.perf.fingerprint import (
     effective_latencies,
 )
 from repro.perf.incremental import StructureEntry, build_structure
+from repro.store import ArtifactStore
 from repro.tmg.analysis import Engine, analyze_event_graph
 
 
@@ -70,6 +71,14 @@ class PerformanceEngine:
             changes.  Disable to ablate (every miss rebuilds the TMG).
         float_screen: Screen exact Howard analyses in float arithmetic and
             re-verify the winner exactly.  Exact cycle times either way.
+        store: Optional persistent :class:`~repro.store.ArtifactStore`
+            layered *under* the results LRU: an LRU miss consults the
+            store (kind ``"analysis"``, params digest = the analysis
+            fingerprint) before recomputing, and every computed result —
+            including memoized deadlock diagnoses — is written back.
+            This is how a warm cache survives the process and is shared
+            by a worker fleet; :meth:`clear` stays process-local (use
+            ``store.clear()`` to invalidate the fleet).
     """
 
     def __init__(
@@ -78,11 +87,13 @@ class PerformanceEngine:
         max_structures: int = 128,
         incremental: bool = True,
         float_screen: bool = True,
+        store: ArtifactStore | None = None,
     ):
         self.results = LruCache(max_results)
         self.structures = LruCache(max_structures)
         self.incremental = incremental
         self.float_screen = float_screen
+        self.store = store
 
     # ------------------------------------------------------------------
 
@@ -116,6 +127,16 @@ class PerformanceEngine:
                 raise cached.error()
             return cached
 
+        if self.store is not None:
+            stored = self.store.get(structure_key, "analysis", result_key)
+            if stored is not MISS and isinstance(
+                stored, (SystemPerformance, _CachedDeadlock)
+            ):
+                self.results.put(result_key, stored)
+                if isinstance(stored, _CachedDeadlock):
+                    raise stored.error()
+                return stored
+
         entry = self._structure(structure_key, system, ordering, latencies, ir)
         if entry.deadlock_cycle is not None:
             error = _system_deadlock(
@@ -124,10 +145,10 @@ class PerformanceEngine:
                     "token-free cycle", cycle=list(entry.deadlock_cycle)
                 ),
             )
-            self.results.put(
-                result_key,
-                _CachedDeadlock(str(error), tuple(error.cycle or ())),
-            )
+            diagnosis = _CachedDeadlock(str(error), tuple(error.cycle or ()))
+            self.results.put(result_key, diagnosis)
+            if self.store is not None:
+                self.store.put(structure_key, "analysis", result_key, diagnosis)
             raise error
 
         graph = entry.instantiate(latencies)
@@ -150,6 +171,8 @@ class PerformanceEngine:
             report=report,
         )
         self.results.put(result_key, performance)
+        if self.store is not None:
+            self.store.put(structure_key, "analysis", result_key, performance)
         return performance
 
     # ------------------------------------------------------------------

@@ -1,0 +1,46 @@
+"""Sharded execution backend and the ``ermes serve`` endpoint.
+
+Public surface of the ``repro.service`` layer: work-unit vocabulary
+(:class:`Candidate`, :class:`WorkUnit`, :class:`UnitOutcome`), the
+:class:`ShardedRunner` worker pool, the :func:`evaluate_candidates`
+one-shot sweep, and the :class:`ErmesService` HTTP endpoint.  Workers
+communicate exclusively through pickled
+:class:`~repro.ir.LoweredIR`-based tasks and the shared
+:class:`~repro.store.ArtifactStore`; see ``docs/SERVICE.md``.
+"""
+
+from repro.service.server import ErmesService, JobManager
+from repro.service.shard import ShardedRunner, evaluate_candidates
+from repro.service.units import (
+    SOURCE_COMPUTED,
+    SOURCE_MEMORY,
+    SOURCE_STORE,
+    Candidate,
+    SimArtifact,
+    UnitOutcome,
+    WorkUnit,
+)
+from repro.service.worker import (
+    ShardTask,
+    execute_task,
+    invalidate_worker_state,
+    reset_worker_state,
+)
+
+__all__ = [
+    "SOURCE_COMPUTED",
+    "SOURCE_MEMORY",
+    "SOURCE_STORE",
+    "Candidate",
+    "ErmesService",
+    "JobManager",
+    "ShardTask",
+    "ShardedRunner",
+    "SimArtifact",
+    "UnitOutcome",
+    "WorkUnit",
+    "evaluate_candidates",
+    "execute_task",
+    "invalidate_worker_state",
+    "reset_worker_state",
+]

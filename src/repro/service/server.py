@@ -1,0 +1,472 @@
+"""``ermes serve`` — the long-running batch endpoint.
+
+A deliberately small stdlib-only HTTP service (``http.server`` +
+executor threads) wrapping the analysis stack: clients submit a design
+as JSON (the same schema ``repro.core.serialization`` reads from disk),
+poll the job until it is done, and fetch the result.  Heavy sweeps fan
+out through the service's :class:`~repro.service.shard.ShardedRunner`,
+and every computed artifact lands in the service's
+:class:`~repro.store.ArtifactStore`, so repeated traffic on the same
+designs is served from the store rather than recomputed.
+
+API (all JSON; see ``docs/SERVICE.md`` for a walkthrough):
+
+==========================  =================================================
+``GET  /v1/health``         Liveness + configuration.
+``GET  /v1/metrics``        The service's metrics-registry snapshot.
+``POST /v1/jobs``           Submit ``{"op", "system", ["ordering"],
+                            ["params"]}``; answers ``202`` with the job id.
+``GET  /v1/jobs``           List every job (id, op, status).
+``GET  /v1/jobs/<id>``      One job's status (``queued`` → ``running`` →
+                            ``done`` | ``failed``).
+``GET  /v1/jobs/<id>/result``  The result; ``409`` while not done,
+                            ``404`` for unknown ids.
+==========================  =================================================
+
+Operations: ``analyze`` (TMG cycle time + critical resources), ``order``
+(Algorithm 1), ``simulate`` (one cycle-accurate run), ``sweep``
+(candidate latency/capacity selections over the worker pool).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from dataclasses import dataclass, field
+from fractions import Fraction
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from repro.core.serialization import ordering_from_dict, system_from_dict
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.errors import DeadlockError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.ordering import channel_ordering
+from repro.perf.engine import PerformanceEngine
+from repro.service.shard import ShardedRunner
+from repro.service.units import Candidate, WorkUnit
+from repro.store import ArtifactStore
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Operations a job may request.
+OPERATIONS = ("analyze", "order", "simulate", "sweep")
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively make a result JSON-serializable (Fractions → floats,
+    with the exact ``"p/q"`` rendering preserved alongside)."""
+    if isinstance(value, Fraction):
+        return {"value": float(value), "exact": str(value)}
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass
+class Job:
+    """One submitted request and (eventually) its result."""
+
+    id: str
+    op: str
+    status: str = QUEUED
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    system: SystemGraph | None = field(default=None, repr=False)
+    ordering: ChannelOrdering | None = field(default=None, repr=False)
+    params: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    def summary(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"id": self.id, "op": self.op, "status": self.status}
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobManager:
+    """Owns the job table, the executor threads, and the shared backend."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        store: ArtifactStore | None = None,
+        threads: int = 2,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.store = store
+        self.engine = PerformanceEngine(store=store)
+        self.runner = ShardedRunner(
+            workers=workers, store=store, metrics=self.metrics
+        )
+        self._runner_lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._counter = 0
+        self._queue: "queue.Queue[Job | None]" = queue.Queue()
+        self._threads = [
+            threading.Thread(target=self._work, daemon=True, name=f"ermes-job-{i}")
+            for i in range(threads)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission and lookup
+    # ------------------------------------------------------------------
+
+    def submit(self, body: dict[str, Any]) -> Job:
+        """Validate one request body and enqueue the job.
+
+        Raises :class:`~repro.errors.ReproError` (typically a
+        ``ValidationError`` from the serialization layer) on a malformed
+        body — reported as a 400, not as a failed job.
+        """
+        op = body.get("op")
+        if op not in OPERATIONS:
+            raise ReproError(
+                f"unknown op {op!r}; expected one of {', '.join(OPERATIONS)}"
+            )
+        system = system_from_dict(body.get("system") or {})
+        ordering = None
+        if body.get("ordering") is not None:
+            ordering = ordering_from_dict(body["ordering"])
+            ordering.validate(system)
+        params = body.get("params") or {}
+        if not isinstance(params, dict):
+            raise ReproError("params must be a JSON object")
+        with self._jobs_lock:
+            self._counter += 1
+            job = Job(
+                id=f"job-{self._counter}",
+                op=op,
+                system=system,
+                ordering=ordering,
+                params=params,
+            )
+            self._jobs[job.id] = job
+        self.metrics.counter("service.jobs.submitted").add()
+        self._queue.put(job)
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._jobs_lock:
+            return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _work(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.status = RUNNING
+            try:
+                job.result = self._execute(job)
+                job.status = DONE
+                self.metrics.counter("service.jobs.completed").add()
+            except ReproError as error:
+                job.error = str(error)
+                job.status = FAILED
+                self.metrics.counter("service.jobs.failed").add()
+            except Exception as error:  # pragma: no cover - defensive
+                job.error = f"internal error: {error}"
+                job.status = FAILED
+                self.metrics.counter("service.jobs.failed").add()
+
+    def _execute(self, job: Job) -> dict[str, Any]:
+        assert job.system is not None
+        with self.metrics.timer(f"service.op.{job.op}"):
+            if job.op == "analyze":
+                return self._op_analyze(job.system, job.ordering)
+            if job.op == "order":
+                return self._op_order(job.system)
+            if job.op == "simulate":
+                return self._op_simulate(job.system, job.ordering, job.params)
+            return self._op_sweep(job.system, job.ordering, job.params)
+
+    def _op_analyze(
+        self, system: SystemGraph, ordering: ChannelOrdering | None
+    ) -> dict[str, Any]:
+        try:
+            performance = self.engine.analyze(system, ordering)
+        except DeadlockError as error:
+            return {
+                "deadlocked": True,
+                "cycle": list(error.cycle or ()),
+                "message": str(error),
+            }
+        return {
+            "deadlocked": False,
+            "cycle_time": _jsonable(performance.cycle_time),
+            "critical_processes": list(performance.critical_processes),
+            "critical_channels": list(performance.critical_channels),
+        }
+
+    def _op_order(self, system: SystemGraph) -> dict[str, Any]:
+        from repro.core.serialization import ordering_to_dict
+
+        ordering = channel_ordering(system, metrics=self.metrics)
+        return {"ordering": ordering_to_dict(ordering)}
+
+    def _op_simulate(
+        self,
+        system: SystemGraph,
+        ordering: ChannelOrdering | None,
+        params: dict[str, Any],
+    ) -> dict[str, Any]:
+        outcomes = self._run_units(
+            system,
+            ordering,
+            [
+                WorkUnit(
+                    index=0,
+                    candidate=Candidate.of(),
+                    iterations=int(params.get("iterations", 64)),
+                    watch=params.get("watch"),
+                )
+            ],
+        )
+        outcome = outcomes[0]
+        return {
+            "deadlocked": outcome.deadlocked,
+            "deadlock_cycle": list(outcome.deadlock_cycle),
+            "measured_cycle_time": _jsonable(outcome.measured_cycle_time),
+            "source": outcome.source,
+        }
+
+    def _op_sweep(
+        self,
+        system: SystemGraph,
+        ordering: ChannelOrdering | None,
+        params: dict[str, Any],
+    ) -> dict[str, Any]:
+        raw = params.get("candidates")
+        if not isinstance(raw, list) or not raw:
+            raise ReproError("sweep params require a non-empty candidates list")
+        candidates = []
+        for item in raw:
+            if not isinstance(item, dict):
+                raise ReproError("each candidate must be a JSON object")
+            latencies = item.get("process_latencies") or {}
+            capacities = item.get("channel_capacities") or {}
+            # A misspelled name would otherwise silently no-op (overrides
+            # resolve with .get) *and* mint a spurious store key.
+            for name in latencies:
+                system.process(name)
+            for name in capacities:
+                system.channel(name)
+            candidates.append(Candidate.of(latencies, capacities))
+        iterations = int(params.get("iterations", 64))
+        watch = params.get("watch")
+        units = [
+            WorkUnit(index=i, candidate=c, iterations=iterations, watch=watch)
+            for i, c in enumerate(candidates)
+        ]
+        outcomes = self._run_units(system, ordering, units)
+        return {
+            "candidates": [
+                {
+                    "index": o.index,
+                    "deadlocked": o.deadlocked,
+                    "deadlock_cycle": list(o.deadlock_cycle),
+                    "measured_cycle_time": _jsonable(o.measured_cycle_time),
+                    "source": o.source,
+                }
+                for o in outcomes
+            ]
+        }
+
+    def _run_units(
+        self,
+        system: SystemGraph,
+        ordering: ChannelOrdering | None,
+        units: list[WorkUnit],
+    ) -> list[Any]:
+        with self._runner_lock:
+            return self.runner.run(system, ordering, units)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self.runner.close()
+
+
+class ErmesService:
+    """The HTTP front of a :class:`JobManager`.
+
+    Binds on construction parameters at :meth:`start` (``port=0`` picks
+    a free port — the test- and docs-friendly default), serves from a
+    daemon thread, and tears everything down in :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        store: ArtifactStore | None = None,
+        threads: int = 2,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.host = host
+        self._requested_port = port
+        self.workers = workers
+        self.manager = JobManager(
+            workers=workers, store=store, threads=threads, metrics=metrics
+        )
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        return int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ErmesService":
+        if self._server is not None:
+            raise RuntimeError("service is already started")
+        manager = self.manager
+
+        class Handler(BaseHTTPRequestHandler):
+            # Quiet by default: the service reports through metrics, not
+            # through per-request stderr lines.
+            def log_message(self, format: str, *args: Any) -> None:
+                pass
+
+            def _reply(
+                self, status: int, body: dict[str, Any]
+            ) -> None:
+                payload = json.dumps(body).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_GET(self) -> None:
+                parts = [p for p in self.path.split("/") if p]
+                if parts == ["v1", "health"]:
+                    self._reply(
+                        200,
+                        {
+                            "status": "ok",
+                            "workers": manager.runner.workers,
+                            "store": (
+                                str(manager.store.root)
+                                if manager.store is not None
+                                else None
+                            ),
+                            "jobs": len(manager.jobs()),
+                        },
+                    )
+                    return
+                if parts == ["v1", "metrics"]:
+                    self._reply(200, manager.metrics.snapshot())
+                    return
+                if parts == ["v1", "jobs"]:
+                    self._reply(
+                        200, {"jobs": [j.summary() for j in manager.jobs()]}
+                    )
+                    return
+                if len(parts) >= 3 and parts[:2] == ["v1", "jobs"]:
+                    job = manager.job(parts[2])
+                    if job is None:
+                        self._reply(404, {"error": f"unknown job {parts[2]!r}"})
+                        return
+                    if len(parts) == 3:
+                        self._reply(200, job.summary())
+                        return
+                    if len(parts) == 4 and parts[3] == "result":
+                        if job.status == DONE and job.result is not None:
+                            self._reply(
+                                200, {"id": job.id, "result": job.result}
+                            )
+                        elif job.status == FAILED:
+                            self._reply(
+                                410, {"id": job.id, "error": job.error}
+                            )
+                        else:
+                            self._reply(
+                                409,
+                                {
+                                    "id": job.id,
+                                    "status": job.status,
+                                    "error": "job is not done yet",
+                                },
+                            )
+                        return
+                self._reply(404, {"error": f"no route for {self.path!r}"})
+
+            def do_POST(self) -> None:
+                if [p for p in self.path.split("/") if p] != ["v1", "jobs"]:
+                    self._reply(404, {"error": f"no route for {self.path!r}"})
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length") or 0)
+                    body = json.loads(self.rfile.read(length) or b"{}")
+                    if not isinstance(body, dict):
+                        raise ReproError("request body must be a JSON object")
+                    job = manager.submit(body)
+                except ReproError as error:
+                    self._reply(400, {"error": str(error)})
+                    return
+                except json.JSONDecodeError as error:
+                    self._reply(400, {"error": f"invalid JSON: {error}"})
+                    return
+                self._reply(202, job.summary())
+
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            daemon=True,
+            name="ermes-serve",
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.manager.stop()
+
+    def __enter__(self) -> "ErmesService":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -1,0 +1,262 @@
+"""The parent side of the sharded execution backend.
+
+:class:`ShardedRunner` distributes work units over a
+``multiprocessing`` pool, ships each worker a pickled IR chunk
+(:class:`~repro.service.worker.ShardTask`), and merges the answers back
+into submission order.  The merge is deterministic by construction —
+outcomes carry their unit index and are sorted on it — and the workers
+execute the *same* ``execute_task`` code the inline path runs, so a
+sharded sweep is bit-identical to a sequential one in everything but
+wall-clock and provenance (enforced by ``tests/service/test_shard.py``
+and ``benchmarks/test_bench_shard.py``).
+
+Observability: with a :class:`~repro.obs.metrics.MetricsRegistry`
+attached, a run reports under the stable ``dse.shard.*`` names
+(catalogued in ``docs/OBSERVABILITY.md``) and merges the parent-side
+store counters under ``store.<kind>.*``.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from multiprocessing import get_context
+from multiprocessing.pool import Pool
+from types import TracebackType
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.ir import lower
+from repro.service.units import (
+    SOURCE_COMPUTED,
+    SOURCE_MEMORY,
+    SOURCE_STORE,
+    Candidate,
+    UnitOutcome,
+    WorkUnit,
+)
+from repro.service.worker import (
+    ShardTask,
+    execute_task,
+    reset_worker_state,
+    run_chunk,
+)
+from repro.store import ArtifactStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+
+class ShardedRunner:
+    """Distributes work units over a worker pool, or runs them inline.
+
+    Args:
+        workers: Pool size.  ``<= 1`` runs every chunk inline in this
+            process (same code path, no pool) — the sequential baseline
+            the differential tests compare against.
+        store: Shared :class:`ArtifactStore`; workers read *and* write
+            it, so a warm store serves any number of future processes.
+        metrics: Optional registry receiving ``dse.shard.*``.
+        chunk_size: Units per task.  Default: enough chunks for ~4 tasks
+            per worker, a balance between scheduling slack and pickle
+            overhead.
+
+    Use as a context manager (or call :meth:`close`) to release the
+    pool; the pool is created lazily on the first sharded :meth:`run`,
+    so a ``workers=1`` runner never forks.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        store: ArtifactStore | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        chunk_size: int | None = None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.store = store
+        self.metrics = metrics
+        self.chunk_size = chunk_size
+        self._pool: Pool | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> Pool:
+        if self._pool is None:
+            self._pool = get_context("fork").Pool(
+                self.workers, initializer=reset_worker_state
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the pool (if one was ever created)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedRunner":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        system: SystemGraph,
+        ordering: ChannelOrdering | None = None,
+        units: Sequence[WorkUnit] = (),
+    ) -> list[UnitOutcome]:
+        """Execute every unit against one base design; merged in order.
+
+        The system is lowered once; workers receive the pickled IR plus
+        the base latency table and rebuild what they need
+        (``repro.ir.reconstruct``).  Returns one outcome per unit,
+        sorted by unit index regardless of which worker answered when.
+        """
+        if ordering is None:
+            ordering = ChannelOrdering.declaration_order(system)
+        units = list(units)
+        if not units:
+            return []
+        ir = lower(system, ordering)
+        generation = self.store.generation() if self.store is not None else 0
+        store_root = str(self.store.root) if self.store is not None else None
+        task_proto = ShardTask(
+            ir_blob=pickle.dumps(ir, protocol=pickle.HIGHEST_PROTOCOL),
+            base_latencies=tuple(sorted(system.process_latencies().items())),
+            units=(),
+            generation=generation,
+            store_root=store_root,
+        )
+
+        chunks = self._chunk(units)
+        timer = (
+            self.metrics.timer("dse.shard.run")
+            if self.metrics is not None
+            else None
+        )
+        if timer is not None:
+            timer.__enter__()
+        try:
+            if self.workers <= 1:
+                answers = [
+                    execute_task(
+                        ShardTask(
+                            ir_blob=task_proto.ir_blob,
+                            base_latencies=task_proto.base_latencies,
+                            units=tuple(chunk),
+                            generation=generation,
+                            store_root=store_root,
+                        ),
+                        store=self.store,
+                    )
+                    for chunk in chunks
+                ]
+            else:
+                pool = self._ensure_pool()
+                blobs = [
+                    pickle.dumps(
+                        ShardTask(
+                            ir_blob=task_proto.ir_blob,
+                            base_latencies=task_proto.base_latencies,
+                            units=tuple(chunk),
+                            generation=generation,
+                            store_root=store_root,
+                        ),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    for chunk in chunks
+                ]
+                answers = [
+                    pickle.loads(answer)
+                    for answer in pool.map(run_chunk, blobs)
+                ]
+        finally:
+            if timer is not None:
+                timer.__exit__(None, None, None)
+
+        outcomes = [outcome for chunk_answers in answers for outcome in chunk_answers]
+        outcomes.sort(key=lambda o: o.index)
+        if self.metrics is not None:
+            self._record_metrics(outcomes, n_chunks=len(chunks))
+        return outcomes
+
+    def _chunk(self, units: Sequence[WorkUnit]) -> list[list[WorkUnit]]:
+        size = self.chunk_size
+        if size is None:
+            lanes = max(1, self.workers) * 4
+            size = max(1, math.ceil(len(units) / lanes))
+        return [
+            list(units[i : i + size]) for i in range(0, len(units), size)
+        ]
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _record_metrics(
+        self, outcomes: Sequence[UnitOutcome], n_chunks: int
+    ) -> None:
+        assert self.metrics is not None
+        metrics = self.metrics
+        metrics.counter("dse.shard.units").add(len(outcomes))
+        metrics.counter("dse.shard.chunks").add(n_chunks)
+        by_source = {SOURCE_COMPUTED: 0, SOURCE_MEMORY: 0, SOURCE_STORE: 0}
+        per_worker: dict[int, int] = {}
+        for outcome in outcomes:
+            by_source[outcome.source] = by_source.get(outcome.source, 0) + 1
+            per_worker[outcome.worker_pid] = (
+                per_worker.get(outcome.worker_pid, 0) + 1
+            )
+        metrics.counter("dse.shard.computed").add(by_source[SOURCE_COMPUTED])
+        metrics.counter("dse.shard.memo_hits").add(by_source[SOURCE_MEMORY])
+        metrics.counter("dse.shard.store_hits").add(by_source[SOURCE_STORE])
+        metrics.counter("dse.shard.deadlocks").add(
+            sum(1 for o in outcomes if o.deadlocked)
+        )
+        histogram = metrics.histogram("dse.shard.units_per_worker")
+        for count in per_worker.values():
+            histogram.observe(count)
+        if self.store is not None:
+            metrics.merge_cache_stats(self.store.stats_dict(), prefix="store")
+
+
+def evaluate_candidates(
+    system: SystemGraph,
+    ordering: ChannelOrdering | None = None,
+    candidates: Sequence[Candidate] = (),
+    *,
+    iterations: int = 64,
+    watch: str | None = None,
+    workers: int = 1,
+    store: ArtifactStore | None = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> list[UnitOutcome]:
+    """One-shot sweep: simulate every candidate of one design.
+
+    Convenience wrapper owning a :class:`ShardedRunner` for the duration
+    of a single call; long-lived callers (the explorer, the service)
+    keep their own runner so the pool survives across sweeps.
+    """
+    units = [
+        WorkUnit(index=i, candidate=c, iterations=iterations, watch=watch)
+        for i, c in enumerate(candidates)
+    ]
+    with ShardedRunner(
+        workers=workers, store=store, metrics=metrics
+    ) as runner:
+        return runner.run(system, ordering, units)

@@ -1,0 +1,137 @@
+"""Work-unit vocabulary of the sharded execution backend.
+
+A *candidate* is one point of the sweep — a process-latency selection
+plus an optional channel-capacity override.  A *work unit* binds a
+candidate to simulation parameters (iterations, watch process) and an
+index in the submission order; a *unit outcome* is the worker's answer,
+carrying both the measurement and its provenance (computed fresh, served
+from the worker's in-process memo, or read from the shared on-disk
+store).
+
+Everything here is a frozen dataclass of primitives and tuples — the
+whole point is that these values cross process boundaries by pickle, so
+they must not drag live ``SystemGraph``/engine objects along
+(``docs/ARCHITECTURE.md``: *pickle the IR, not live objects*).
+
+Determinism note: two runs of the same units produce outcomes whose
+**measurements** (``measured_cycle_time``, ``result``, ``deadlocked``,
+``deadlock_cycle``) are bit-identical regardless of worker count or
+cache temperature; the **provenance** fields (``source``,
+``worker_pid``) naturally differ and are excluded from
+:meth:`UnitOutcome.measurement` — the projection the differential tests
+and the benchmark compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import SimulationResult
+
+#: Provenance tokens of a :class:`UnitOutcome`.
+SOURCE_COMPUTED = "computed"
+SOURCE_MEMORY = "memory"
+SOURCE_STORE = "store"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One sweep point: latency selection + optional capacity override.
+
+    Both maps are stored as name-sorted tuples of pairs so candidates
+    are hashable, comparable, and digest deterministically.  Use
+    :meth:`of` to build one from plain mappings.
+    """
+
+    process_latencies: tuple[tuple[str, int], ...] = ()
+    channel_capacities: tuple[tuple[str, int], ...] = ()
+
+    @staticmethod
+    def of(
+        process_latencies: Mapping[str, int] | None = None,
+        channel_capacities: Mapping[str, int] | None = None,
+    ) -> "Candidate":
+        return Candidate(
+            process_latencies=tuple(sorted((process_latencies or {}).items())),
+            channel_capacities=tuple(sorted((channel_capacities or {}).items())),
+        )
+
+    def latency_map(self) -> dict[str, int]:
+        return dict(self.process_latencies)
+
+    def capacity_map(self) -> dict[str, int]:
+        return dict(self.channel_capacities)
+
+    @property
+    def is_structural(self) -> bool:
+        """Whether this candidate changes the structure (needs relowering)."""
+        return bool(self.channel_capacities)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One candidate bound to its simulation parameters and submit index."""
+
+    index: int
+    candidate: Candidate
+    iterations: int = 64
+    watch: str | None = None
+
+
+@dataclass(frozen=True)
+class SimArtifact:
+    """The store payload of one simulated unit (kind ``"sim"``).
+
+    Index-free — the same candidate simulated from any submission slot
+    (or any process) produces the same artifact, which is what makes the
+    store content-addressed rather than run-scoped.
+    """
+
+    measured_cycle_time: Fraction | None
+    deadlocked: bool
+    deadlock_cycle: tuple[str, ...]
+    result: "SimulationResult | None"
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """A worker's answer for one :class:`WorkUnit`.
+
+    ``measurement()`` projects out the deterministic payload; ``source``
+    and ``worker_pid`` describe where the answer came from and are
+    intentionally not part of that projection.
+    """
+
+    index: int
+    ir_hash: str
+    params_digest: str
+    measured_cycle_time: Fraction | None
+    deadlocked: bool
+    deadlock_cycle: tuple[str, ...]
+    result: "SimulationResult | None"
+    source: str
+    worker_pid: int
+    generation: int
+
+    def measurement(self) -> tuple[Any, ...]:
+        """The provenance-free projection two equivalent runs must agree on."""
+        return (
+            self.index,
+            self.ir_hash,
+            self.params_digest,
+            self.measured_cycle_time,
+            self.deadlocked,
+            self.deadlock_cycle,
+            self.result,
+        )
+
+    def artifact(self) -> SimArtifact:
+        return SimArtifact(
+            measured_cycle_time=self.measured_cycle_time,
+            deadlocked=self.deadlocked,
+            deadlock_cycle=self.deadlock_cycle,
+            result=self.result,
+        )

@@ -1,0 +1,254 @@
+"""The worker side of the sharded execution backend.
+
+A worker process receives a pickled :class:`ShardTask` — the lowered IR
+as bytes, the base latency table, a chunk of work units, the store root,
+and the store generation in force — and answers with pickled
+:class:`~repro.service.units.UnitOutcome`\\ s.  Workers never receive
+live ``SystemGraph``/engine objects: the IR is the complete work
+description (``repro.ir.reconstruct`` inverts it), which keeps the
+protocol stable under fork *and* spawn start methods and keeps the
+parent's mutable state out of the children.
+
+Per-process state (memo, preflight cache, lowering cache, default
+engine) is warm across chunks — that is the throughput lever — but it is
+guarded by the store's *generation stamp*: every task carries the
+generation the parent observed at submit time, and a worker that sees
+the stamp move drops all of its process-local memos before touching the
+chunk.  Without the stamp, a ``store.clear()`` /
+``clear_preflight_cache()`` in the parent would leave every worker
+happily serving memos for artifacts the parent just invalidated (the
+regression pinned by ``tests/service/test_generation.py``).
+
+``execute_task`` is also the *sequential* execution path: the parent
+runs it inline for ``workers <= 1``, so sharded and sequential runs
+execute literally the same code and differ only in which process runs
+it — the cheapest possible bit-identity argument.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+
+from repro.core.system import ChannelOrdering, SystemGraph
+from repro.errors import SimulationDeadlock
+from repro.ir import (
+    LoweredIR,
+    clear_lowering_cache,
+    lower,
+    ordering_from_ir,
+    system_from_ir,
+)
+from repro.perf.cache import MISS, LruCache
+from repro.perf.engine import reset_default_engine
+from repro.service.units import (
+    SOURCE_COMPUTED,
+    SOURCE_MEMORY,
+    SOURCE_STORE,
+    SimArtifact,
+    UnitOutcome,
+    WorkUnit,
+)
+from repro.sim.engine import Simulator
+from repro.store import ArtifactStore, params_digest
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One chunk of work shipped to a worker, fully self-describing.
+
+    Attributes:
+        ir_blob: The pickled base :class:`~repro.ir.LoweredIR`.
+        base_latencies: The system's own process latencies (the IR is
+            latency-free by design, so they travel separately), as
+            name-sorted pairs.
+        units: The work units of this chunk.
+        generation: Store generation the parent observed at submit time.
+        store_root: Root of the shared :class:`ArtifactStore`, or
+            ``None`` to run store-less.
+    """
+
+    ir_blob: bytes
+    base_latencies: tuple[tuple[str, int], ...]
+    units: tuple[WorkUnit, ...]
+    generation: int
+    store_root: str | None
+
+
+#: Process-local memo of unit artifacts, keyed ``(ir_hash, digest)``.
+_MEMO: LruCache = LruCache(4096)
+#: The store generation the memos above were built under.
+_MEMO_GENERATION: int | None = None
+
+
+def invalidate_worker_state() -> None:
+    """Drop every process-local memo this module (or its callees) holds.
+
+    Called when the store generation moves — and callable directly by
+    tests and by embedders that mutate designs in place.
+    """
+    from repro.lint import clear_preflight_cache
+
+    _MEMO.clear()
+    clear_preflight_cache()
+    clear_lowering_cache()
+    reset_default_engine()
+
+
+def reset_worker_state() -> None:
+    """Pool initializer: start the worker with *empty* process-local state.
+
+    A forked child inherits the parent's warm memos; letting it serve
+    them would blur the provenance story (a "cold" pool answering from
+    memory) and would couple worker behaviour to whatever the parent
+    happened to compute before forking.  Resetting on pool start makes
+    the contract simple: worker warmth comes from the shared store and
+    from the worker's own lifetime, never from the parent.
+    """
+    global _MEMO_GENERATION
+    invalidate_worker_state()
+    _MEMO_GENERATION = None
+
+
+def _sync_generation(generation: int) -> None:
+    global _MEMO_GENERATION
+    if _MEMO_GENERATION is None:
+        _MEMO_GENERATION = generation
+        return
+    if generation != _MEMO_GENERATION:
+        invalidate_worker_state()
+        _MEMO_GENERATION = generation
+
+
+def unit_params(unit: WorkUnit, watch: str) -> dict[str, object]:
+    """The non-structural parameters that shape one unit's artifact.
+
+    Capacity overrides are deliberately absent: they are structural and
+    therefore already part of the (overridden) IR hash the artifact is
+    filed under.
+    """
+    return {
+        "op": "sim",
+        "iterations": unit.iterations,
+        "watch": watch,
+        "latencies": unit.candidate.process_latencies,
+    }
+
+
+def execute_task(
+    task: ShardTask, store: ArtifactStore | None = None
+) -> list[UnitOutcome]:
+    """Run every unit of a task in submission order.
+
+    The layered lookup per unit is memo → store → simulate; computed
+    artifacts are written back to the store so the *next* process (or
+    the next cold run) starts warm.  A runtime deadlock is an answer,
+    not an error — it is captured on the outcome exactly as the batch
+    simulator's ``on_deadlock="capture"`` mode does.
+
+    ``store`` lets an in-process caller (the ``workers <= 1`` path of
+    :class:`~repro.service.shard.ShardedRunner`) share its own store
+    instance so hit/miss counters accumulate where the caller can read
+    them; workers open their own instance from ``task.store_root``.
+    """
+    _sync_generation(task.generation)
+    base_ir = pickle.loads(task.ir_blob)
+    if not isinstance(base_ir, LoweredIR):
+        raise TypeError(f"ShardTask.ir_blob is not a LoweredIR: {type(base_ir)!r}")
+    if store is None:
+        store = ArtifactStore(task.store_root) if task.store_root else None
+    base_latencies = dict(task.base_latencies)
+    system = system_from_ir(base_ir, base_latencies)
+    ordering = ordering_from_ir(base_ir)
+    sinks = system.sinks()
+    default_watch = sinks[0].name if sinks else system.process_names[0]
+    pid = os.getpid()
+
+    outcomes: list[UnitOutcome] = []
+    for unit in task.units:
+        capacities = unit.candidate.capacity_map()
+        if capacities:
+            unit_system = system.with_channel_capacities(capacities)
+            ir_hash = lower(unit_system, ordering).structural_hash
+        else:
+            unit_system = system
+            ir_hash = base_ir.structural_hash
+        watch = unit.watch or default_watch
+        digest = params_digest(unit_params(unit, watch))
+        memo_key = f"{ir_hash}:{digest}"
+
+        artifact = _MEMO.get(memo_key)
+        source = SOURCE_MEMORY
+        if artifact is MISS and store is not None:
+            stored = store.get(ir_hash, "sim", digest)
+            if stored is not MISS and isinstance(stored, SimArtifact):
+                artifact = stored
+                source = SOURCE_STORE
+                _MEMO.put(memo_key, artifact)
+        if artifact is MISS or not isinstance(artifact, SimArtifact):
+            artifact = _simulate(unit, unit_system, ordering, watch)
+            source = SOURCE_COMPUTED
+            _MEMO.put(memo_key, artifact)
+            if store is not None:
+                store.put(ir_hash, "sim", digest, artifact)
+
+        outcomes.append(
+            UnitOutcome(
+                index=unit.index,
+                ir_hash=ir_hash,
+                params_digest=digest,
+                measured_cycle_time=artifact.measured_cycle_time,
+                deadlocked=artifact.deadlocked,
+                deadlock_cycle=artifact.deadlock_cycle,
+                result=artifact.result,
+                source=source,
+                worker_pid=pid,
+                generation=task.generation,
+            )
+        )
+    return outcomes
+
+
+def _simulate(
+    unit: WorkUnit,
+    system: SystemGraph,
+    ordering: ChannelOrdering,
+    watch: str,
+) -> SimArtifact:
+    simulator = Simulator(
+        system,
+        ordering,
+        process_latencies=unit.candidate.latency_map(),
+    )
+    try:
+        result = simulator.run(iterations=unit.iterations, watch=watch)
+    except SimulationDeadlock as deadlock:
+        return SimArtifact(
+            measured_cycle_time=None,
+            deadlocked=True,
+            deadlock_cycle=tuple(deadlock.cycle or ()),
+            result=None,
+        )
+    return SimArtifact(
+        measured_cycle_time=result.measured_cycle_time(watch),
+        deadlocked=False,
+        deadlock_cycle=(),
+        result=result,
+    )
+
+
+def run_chunk(blob: bytes) -> bytes:
+    """Pool entry point: pickled :class:`ShardTask` in, outcomes out.
+
+    The pickle round-trip at both edges is deliberate — it keeps the
+    pool protocol identical whether the pool forks or spawns, and it is
+    the same bytes the inline (``workers=1``) path produces, so the
+    differential tests cover the wire format too.
+    """
+    task = pickle.loads(blob)
+    if not isinstance(task, ShardTask):
+        raise TypeError(f"expected a ShardTask, got {type(task)!r}")
+    return pickle.dumps(
+        execute_task(task), protocol=pickle.HIGHEST_PROTOCOL
+    )

@@ -1,0 +1,129 @@
+"""Sharded DSE measurement: ``Explorer.run(workers=N)`` and
+``sweep_targets(workers=N)`` equal their sequential counterparts.
+
+The explorer's sharded measurement pass fans the visited configurations
+out over a worker pool instead of the in-process batch engine; the
+analytic trajectory is untouched either way, and the measured cycle
+times are bit-identical (workers compute the same scalar simulations).
+A store makes the measurements persistent — re-running the same sweep
+against a warm store recomputes nothing.
+"""
+
+import pytest
+
+from repro.core import ChannelOrdering
+from repro.dse import Explorer, SystemConfiguration
+from repro.dse.sweep import sweep_targets
+from repro.hls import Implementation, ImplementationLibrary, ParetoSet
+from repro.store import ArtifactStore
+
+
+@pytest.fixture()
+def setup(motivating):
+    sets = []
+    for process in motivating.workers():
+        base = process.latency
+        sets.append(
+            ParetoSet.from_points(
+                process.name,
+                [
+                    Implementation(f"{process.name}.small", base * 4, 10.0),
+                    Implementation(f"{process.name}.mid", base * 2, 16.0),
+                    Implementation(f"{process.name}.fast", base, 26.0),
+                ],
+            )
+        )
+    library = ImplementationLibrary(sets)
+    return SystemConfiguration.initial(
+        motivating, library,
+        ordering=ChannelOrdering.declaration_order(motivating),
+        pick="smallest",
+    )
+
+
+class TestExplorerWorkers:
+    def test_sharded_measurements_equal_batch(self, setup):
+        batch = Explorer(target_cycle_time=40, batch=True).run(setup)
+        sharded = Explorer(target_cycle_time=40, batch=True, workers=2).run(
+            setup
+        )
+        assert sharded.history == batch.history
+        assert sharded.measured_cycle_times == batch.measured_cycle_times
+
+    def test_run_level_workers_override(self, setup):
+        explorer = Explorer(target_cycle_time=40, batch=True)
+        baseline = explorer.run(setup)
+        overridden = explorer.run(setup, workers=2)
+        assert overridden.measured_cycle_times == baseline.measured_cycle_times
+
+    def test_store_fills_and_serves(self, setup, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        cold = Explorer(
+            target_cycle_time=40, batch=True, workers=2, store=store
+        ).run(setup)
+        assert store.count("sim") > 0
+        # Store writes happen in the worker processes, so parent-side
+        # stats can't see them; the on-disk entries are the evidence.  A
+        # warm re-run (fresh pool, cold memos) must be served entirely
+        # from the store: same answers, not one entry rewritten.
+        mtimes = {p: p.stat().st_mtime_ns for p in store.entries()}
+        warm = Explorer(
+            target_cycle_time=40, batch=True, workers=2, store=store
+        ).run(setup)
+        assert warm.measured_cycle_times == cold.measured_cycle_times
+        assert {
+            p: p.stat().st_mtime_ns for p in store.entries()
+        } == mtimes
+
+
+class TestSweepWorkers:
+    TARGETS = (60, 40, 30)
+
+    def test_sharded_sweep_equals_sequential(self, setup):
+        sequential = sweep_targets(setup, self.TARGETS, batch=True)
+        sharded = sweep_targets(setup, self.TARGETS, batch=True, workers=2)
+        assert [
+            (p.target_cycle_time, p.cycle_time, p.area, p.feasible,
+             p.measured_cycle_time)
+            for p in sharded
+        ] == [
+            (p.target_cycle_time, p.cycle_time, p.area, p.feasible,
+             p.measured_cycle_time)
+            for p in sequential
+        ]
+
+    def test_sweep_files_its_frontier(self, setup, tmp_path):
+        from repro.ir import lower
+        from repro.store import params_digest
+
+        store = ArtifactStore(tmp_path / "store")
+        points = sweep_targets(
+            setup, self.TARGETS, batch=True, workers=2, store=store
+        )
+        assert points
+        base_hash = lower(setup.system, setup.ordering).structural_hash
+        digest = params_digest(
+            {
+                "op": "pareto",
+                "targets": tuple(str(t) for t in sorted(self.TARGETS)),
+            }
+        )
+        frontier = store.get(base_hash, "pareto", digest)
+        assert isinstance(frontier, tuple) and frontier
+        assert all(entry["feasible"] for entry in frontier)
+
+    def test_analysis_artifacts_persist_across_engines(self, setup, tmp_path):
+        from repro.perf.engine import PerformanceEngine
+
+        store = ArtifactStore(tmp_path / "store")
+        sweep_targets(setup, (40,), batch=False, store=store)
+        assert store.count("analysis") > 0
+        # A brand-new engine (fresh LRU) over the same disk answers from
+        # the store instead of re-running the analysis.
+        engine = PerformanceEngine(store=store)
+        engine.analyze(
+            setup.system,
+            setup.ordering,
+            process_latencies=setup.process_latencies(),
+        )
+        assert store.stats_dict()["analysis"]["hits"] > 0

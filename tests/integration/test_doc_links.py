@@ -1,0 +1,91 @@
+"""Every internal link and anchor in the documentation resolves.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links: relative
+file targets must exist, and ``#fragment`` targets must match a heading
+in the referenced file (GitHub's slug rules).  External ``http(s)``
+links are out of scope — CI must not depend on the network.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def _strip_fences(text: str) -> str:
+    """Drop fenced code blocks — links inside them are illustrative."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def _slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces→dashes."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps text
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # link text
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    seen: dict[str, int] = {}
+    anchors = set()
+    for line in _strip_fences(path.read_text()).splitlines():
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def _links(path: Path) -> list[str]:
+    return _LINK.findall(_strip_fences(path.read_text()))
+
+
+def test_doc_set_is_nonempty():
+    assert len(DOC_FILES) >= 5
+    assert all(path.is_file() for path in DOC_FILES)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_links_resolve(doc):
+    problems = []
+    for target in _links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{target}: file {path_part!r} not found")
+                continue
+        else:
+            resolved = doc
+        if fragment:
+            if resolved.suffix != ".md":
+                continue
+            anchors = _anchors(resolved)
+            if fragment not in anchors:
+                problems.append(
+                    f"{target}: no heading in {resolved.name} slugs to "
+                    f"{fragment!r}"
+                )
+    assert not problems, f"{doc.name}:\n  " + "\n  ".join(problems)

@@ -1,0 +1,140 @@
+"""Regression: cache clears propagate to worker processes.
+
+A ``store.clear()`` in the parent bumps the store's *generation stamp*;
+every :class:`~repro.service.worker.ShardTask` carries the generation
+the parent observed at submit time, and a worker whose process-local
+memos were built under an older stamp drops them before touching the
+chunk.  Without the stamp (the original bug) a worker would keep serving
+``source == "memory"`` answers for artifacts the parent had just
+invalidated — these tests pin the computed → memory → *clear* →
+computed lifecycle on both the inline and the pooled path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    SOURCE_COMPUTED,
+    SOURCE_MEMORY,
+    Candidate,
+    ShardedRunner,
+    WorkUnit,
+    invalidate_worker_state,
+)
+from repro.service import worker as worker_module
+from repro.store import ArtifactStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture(autouse=True)
+def cold_parent():
+    """Inline (workers<=1) execution shares this process's memos; start
+    each test cold so earlier tests cannot leak warmth in."""
+    invalidate_worker_state()
+    worker_module._MEMO_GENERATION = None
+    yield
+
+
+UNIT = WorkUnit(index=0, candidate=Candidate.of(), iterations=16)
+
+
+class TestInlinePath:
+    def test_clear_invalidates_the_memo(
+        self, motivating, optimal_ordering, store
+    ):
+        with ShardedRunner(workers=1, store=store) as runner:
+            first = runner.run(motivating, optimal_ordering, [UNIT])
+            second = runner.run(motivating, optimal_ordering, [UNIT])
+            assert first[0].source == SOURCE_COMPUTED
+            assert second[0].source == SOURCE_MEMORY
+
+            store.clear()
+
+            third = runner.run(motivating, optimal_ordering, [UNIT])
+        # The regression: pre-stamp this answered "memory" — a memo for
+        # an artifact the parent had just invalidated.
+        assert third[0].source == SOURCE_COMPUTED
+        assert third[0].measurement() == first[0].measurement()
+        assert third[0].generation == first[0].generation + 1
+
+    def test_same_generation_keeps_memos_warm(
+        self, motivating, optimal_ordering, store
+    ):
+        with ShardedRunner(workers=1, store=store) as runner:
+            runner.run(motivating, optimal_ordering, [UNIT])
+            for _ in range(3):
+                again = runner.run(motivating, optimal_ordering, [UNIT])
+                assert again[0].source == SOURCE_MEMORY
+
+    def test_storeless_runs_are_generation_zero(
+        self, motivating, optimal_ordering
+    ):
+        with ShardedRunner(workers=1) as runner:
+            outcome = runner.run(motivating, optimal_ordering, [UNIT])[0]
+        assert outcome.generation == 0
+
+
+class TestPooledPath:
+    def test_clear_reaches_forked_workers(
+        self, motivating, optimal_ordering, store
+    ):
+        units = [
+            WorkUnit(
+                index=i,
+                candidate=Candidate.of(
+                    {motivating.processes[0].name: 1 + i}
+                ),
+                iterations=16,
+            )
+            for i in range(4)
+        ]
+        with ShardedRunner(workers=2, store=store) as runner:
+            first = runner.run(motivating, optimal_ordering, units)
+            assert all(o.source == SOURCE_COMPUTED for o in first)
+            # Same pool, same generation: every answer comes from a
+            # worker memo or from the store — nothing is recomputed.
+            again = runner.run(motivating, optimal_ordering, units)
+            assert all(o.source != SOURCE_COMPUTED for o in again)
+
+            store.clear()
+
+            third = runner.run(motivating, optimal_ordering, units)
+            # Store emptied *and* worker memos stamped out: the workers
+            # must recompute, and the answers must not change.
+            assert all(o.source == SOURCE_COMPUTED for o in third)
+        assert [o.measurement() for o in third] == [
+            o.measurement() for o in first
+        ]
+
+    def test_fresh_pool_starts_cold(self, motivating, optimal_ordering):
+        # No store: a brand-new pool inherits nothing from this process
+        # (reset initializer), so it must compute even though the parent
+        # just did.
+        with ShardedRunner(workers=1) as runner:
+            runner.run(motivating, optimal_ordering, [UNIT])
+        with ShardedRunner(workers=2) as runner:
+            outcome = runner.run(motivating, optimal_ordering, [UNIT])[0]
+        assert outcome.source == SOURCE_COMPUTED
+
+
+class TestStampMechanics:
+    def test_first_generation_is_adopted_without_invalidation(self):
+        worker_module._sync_generation(7)
+        assert worker_module._MEMO_GENERATION == 7
+        worker_module._MEMO.put("k", "v")
+        worker_module._sync_generation(7)
+        assert worker_module._MEMO.get("k") == "v"
+
+    def test_generation_change_flushes_memo(self):
+        worker_module._sync_generation(7)
+        worker_module._MEMO.put("k", "v")
+        worker_module._sync_generation(8)
+        from repro.perf.cache import MISS
+
+        assert worker_module._MEMO.get("k") is MISS
+        assert worker_module._MEMO_GENERATION == 8

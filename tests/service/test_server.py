@@ -1,0 +1,224 @@
+"""End-to-end HTTP smoke of ``ermes serve``'s service layer.
+
+A real :class:`~repro.service.ErmesService` on an ephemeral port,
+exercised with stdlib ``urllib`` only — submit, poll, fetch, and the
+documented error statuses (400 malformed, 404 unknown, 410 failed).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.serialization import ordering_to_dict, system_to_dict
+from repro.service import ErmesService
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, body):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _poll(base, job_id, deadline_s=30.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        _, job = _get(f"{base}/v1/jobs/{job_id}")
+        if job["status"] in ("done", "failed"):
+            return job
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not settle within {deadline_s}s")
+
+
+@pytest.fixture(scope="module")
+def service():
+    with ErmesService(port=0, workers=1, threads=2) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def base(service):
+    return service.url
+
+
+def _submit_and_fetch(base, body):
+    status, accepted = _post(f"{base}/v1/jobs", body)
+    assert status == 202
+    job = _poll(base, accepted["id"])
+    assert job["status"] == "done", job.get("error")
+    status, payload = _get(f"{base}/v1/jobs/{accepted['id']}/result")
+    assert status == 200
+    return payload["result"]
+
+
+class TestHappyPath:
+    def test_health(self, base, service):
+        status, health = _get(f"{base}/v1/health")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["workers"] == service.workers
+
+    def test_analyze(self, base, motivating, optimal_ordering):
+        result = _submit_and_fetch(
+            base,
+            {
+                "op": "analyze",
+                "system": system_to_dict(motivating),
+                "ordering": ordering_to_dict(optimal_ordering),
+            },
+        )
+        assert result["deadlocked"] is False
+        assert result["cycle_time"]["value"] > 0
+        assert result["critical_processes"]
+
+    def test_analyze_reports_deadlock_as_result(
+        self, base, motivating, deadlock_ordering
+    ):
+        result = _submit_and_fetch(
+            base,
+            {
+                "op": "analyze",
+                "system": system_to_dict(motivating),
+                "ordering": ordering_to_dict(deadlock_ordering),
+            },
+        )
+        assert result["deadlocked"] is True
+        assert result["cycle"]
+
+    def test_order(self, base, motivating):
+        result = _submit_and_fetch(
+            base, {"op": "order", "system": system_to_dict(motivating)}
+        )
+        assert result["ordering"]["gets"]
+        assert result["ordering"]["puts"]
+
+    def test_simulate(self, base, motivating, optimal_ordering):
+        result = _submit_and_fetch(
+            base,
+            {
+                "op": "simulate",
+                "system": system_to_dict(motivating),
+                "ordering": ordering_to_dict(optimal_ordering),
+                "params": {"iterations": 16},
+            },
+        )
+        assert result["deadlocked"] is False
+        assert result["measured_cycle_time"]["value"] > 0
+
+    def test_sweep(self, base, motivating, optimal_ordering):
+        name = motivating.processes[0].name
+        result = _submit_and_fetch(
+            base,
+            {
+                "op": "sweep",
+                "system": system_to_dict(motivating),
+                "ordering": ordering_to_dict(optimal_ordering),
+                "params": {
+                    "iterations": 16,
+                    "candidates": [
+                        {},
+                        {"process_latencies": {name: 2}},
+                    ],
+                },
+            },
+        )
+        assert len(result["candidates"]) == 2
+        assert all(
+            c["measured_cycle_time"]["value"] > 0
+            for c in result["candidates"]
+        )
+
+    def test_jobs_listing_and_metrics(self, base):
+        status, listing = _get(f"{base}/v1/jobs")
+        assert status == 200
+        assert listing["jobs"]
+        status, metrics = _get(f"{base}/v1/metrics")
+        assert status == 200
+        assert metrics["counters"]["service.jobs.submitted"] >= len(
+            listing["jobs"]
+        )
+
+
+class TestErrorPaths:
+    def _status_of(self, call):
+        try:
+            call()
+        except urllib.error.HTTPError as error:
+            body = json.loads(error.read())
+            return error.code, body
+        raise AssertionError("expected an HTTP error status")
+
+    def test_unknown_op_is_400(self, base, motivating):
+        code, body = self._status_of(
+            lambda: _post(
+                f"{base}/v1/jobs",
+                {"op": "frobnicate", "system": system_to_dict(motivating)},
+            )
+        )
+        assert code == 400
+        assert "frobnicate" in body["error"]
+
+    def test_invalid_json_is_400(self, base):
+        request = urllib.request.Request(
+            f"{base}/v1/jobs", data=b"{not json", method="POST"
+        )
+        code, _ = self._status_of(
+            lambda: urllib.request.urlopen(request, timeout=10)
+        )
+        assert code == 400
+
+    def test_malformed_system_is_400(self, base):
+        code, _ = self._status_of(
+            lambda: _post(
+                f"{base}/v1/jobs", {"op": "analyze", "system": {"bogus": 1}}
+            )
+        )
+        assert code == 400
+
+    def test_unknown_job_is_404(self, base):
+        code, _ = self._status_of(lambda: _get(f"{base}/v1/jobs/job-999999"))
+        assert code == 404
+        code, _ = self._status_of(
+            lambda: _get(f"{base}/v1/jobs/job-999999/result")
+        )
+        assert code == 404
+
+    def test_unknown_route_is_404(self, base):
+        code, _ = self._status_of(lambda: _get(f"{base}/v1/nope"))
+        assert code == 404
+
+    def test_failed_job_result_is_410(self, base, motivating):
+        # A sweep naming a process that does not exist fails the job
+        # (not the submission): validation happens at execution time.
+        status, accepted = _post(
+            f"{base}/v1/jobs",
+            {
+                "op": "sweep",
+                "system": system_to_dict(motivating),
+                "params": {
+                    "candidates": [{"process_latencies": {"no_such": 1}}]
+                },
+            },
+        )
+        assert status == 202
+        job = _poll(base, accepted["id"])
+        assert job["status"] == "failed"
+        code, body = self._status_of(
+            lambda: _get(f"{base}/v1/jobs/{accepted['id']}/result")
+        )
+        assert code == 410
+        assert "no_such" in body["error"]

@@ -1,0 +1,218 @@
+"""Sharded execution is bit-identical to sequential execution.
+
+The differential contract: for the same units, the ``measurement()``
+projection of every outcome — index, IR hash, params digest, measured
+cycle time, deadlock flag/cycle, full simulation result — is identical
+whether the units ran inline (``workers=1``), across a pool
+(``workers=2``), against a cold store, or against a warm one.  Only
+provenance (``source``, ``worker_pid``) may differ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    SOURCE_COMPUTED,
+    SOURCE_MEMORY,
+    SOURCE_STORE,
+    Candidate,
+    ShardedRunner,
+    WorkUnit,
+    evaluate_candidates,
+)
+from repro.store import ArtifactStore
+
+
+def _candidates(system):
+    """A small mixed sweep: latency tweaks plus one structural override."""
+    names = [p.name for p in system.processes]
+    out = [Candidate.of()]
+    for name in names[:3]:
+        out.append(Candidate.of({name: system.process(name).latency + 1}))
+    out.append(Candidate.of({names[0]: 1, names[-1]: 2}))
+    channel = system.channels[0].name
+    out.append(Candidate.of(channel_capacities={channel: 4}))
+    return out
+
+
+def _measurements(outcomes):
+    return [o.measurement() for o in outcomes]
+
+
+class TestDifferential:
+    def test_two_workers_match_sequential(self, motivating, optimal_ordering):
+        candidates = _candidates(motivating)
+        sequential = evaluate_candidates(
+            motivating, optimal_ordering, candidates, iterations=24
+        )
+        parallel = evaluate_candidates(
+            motivating, optimal_ordering, candidates, iterations=24, workers=2
+        )
+        assert _measurements(sequential) == _measurements(parallel)
+
+    def test_store_temperature_does_not_change_measurements(
+        self, motivating, optimal_ordering, tmp_path
+    ):
+        candidates = _candidates(motivating)
+        store = ArtifactStore(tmp_path / "store")
+        cold = evaluate_candidates(
+            motivating, optimal_ordering, candidates,
+            iterations=24, workers=2, store=store,
+        )
+        warm = evaluate_candidates(
+            motivating, optimal_ordering, candidates,
+            iterations=24, workers=2, store=store,
+        )
+        bare = evaluate_candidates(
+            motivating, optimal_ordering, candidates, iterations=24
+        )
+        assert _measurements(cold) == _measurements(warm) == _measurements(bare)
+        # The second pool started fresh (reset initializer), so its
+        # answers came from the shared store, not worker memos.
+        assert all(o.source == SOURCE_STORE for o in warm)
+
+    def test_outcomes_arrive_in_submission_order(
+        self, motivating, optimal_ordering
+    ):
+        candidates = _candidates(motivating)
+        with ShardedRunner(workers=2, chunk_size=1) as runner:
+            units = [
+                WorkUnit(index=i, candidate=c, iterations=16)
+                for i, c in enumerate(candidates)
+            ]
+            outcomes = runner.run(motivating, optimal_ordering, units)
+        assert [o.index for o in outcomes] == list(range(len(candidates)))
+
+
+class TestProvenance:
+    def test_cold_run_computes_then_memoizes(self, motivating, optimal_ordering):
+        from repro.service import invalidate_worker_state
+
+        invalidate_worker_state()
+        unit = WorkUnit(index=0, candidate=Candidate.of(), iterations=16)
+        with ShardedRunner(workers=1) as runner:
+            first = runner.run(motivating, optimal_ordering, [unit])
+            second = runner.run(motivating, optimal_ordering, [unit])
+        assert first[0].source == SOURCE_COMPUTED
+        assert second[0].source == SOURCE_MEMORY
+
+    def test_capacity_override_changes_ir_hash(
+        self, motivating, optimal_ordering
+    ):
+        outcomes = evaluate_candidates(
+            motivating,
+            optimal_ordering,
+            [
+                Candidate.of(),
+                Candidate.of(
+                    channel_capacities={motivating.channels[0].name: 7}
+                ),
+            ],
+            iterations=16,
+        )
+        assert outcomes[0].ir_hash != outcomes[1].ir_hash
+
+    def test_latency_override_changes_digest_not_hash(
+        self, motivating, optimal_ordering
+    ):
+        name = motivating.processes[0].name
+        outcomes = evaluate_candidates(
+            motivating,
+            optimal_ordering,
+            [Candidate.of(), Candidate.of({name: 9})],
+            iterations=16,
+        )
+        assert outcomes[0].ir_hash == outcomes[1].ir_hash
+        assert outcomes[0].params_digest != outcomes[1].params_digest
+
+
+class TestDeadlock:
+    def test_deadlocking_ordering_is_captured_not_raised(
+        self, motivating, deadlock_ordering
+    ):
+        outcomes = evaluate_candidates(
+            motivating, deadlock_ordering, [Candidate.of()], iterations=16
+        )
+        assert outcomes[0].deadlocked
+        assert outcomes[0].deadlock_cycle
+        assert outcomes[0].measured_cycle_time is None
+
+    def test_deadlock_is_stored_and_replayed(
+        self, motivating, deadlock_ordering, tmp_path
+    ):
+        from repro.service import invalidate_worker_state
+
+        store = ArtifactStore(tmp_path / "store")
+        # workers=1 runs inline in this process; start cold so the first
+        # run computes (and files) the artifact rather than answering
+        # from a memo another test happened to warm.
+        invalidate_worker_state()
+        first = evaluate_candidates(
+            motivating, deadlock_ordering, [Candidate.of()],
+            iterations=16, store=store,
+        )
+        # workers=1 runs inline in this process; drop the in-process memo
+        # so the replay must come from the on-disk store.
+        invalidate_worker_state()
+        replay = evaluate_candidates(
+            motivating, deadlock_ordering, [Candidate.of()],
+            iterations=16, store=store,
+        )
+        assert first[0].source == SOURCE_COMPUTED
+        assert replay[0].source == SOURCE_STORE
+        assert _measurements(first) == _measurements(replay)
+
+
+class TestMetrics:
+    def test_shard_metric_names(self, motivating, optimal_ordering, tmp_path):
+        metrics = MetricsRegistry()
+        store = ArtifactStore(tmp_path / "store")
+        candidates = _candidates(motivating)
+        evaluate_candidates(
+            motivating, optimal_ordering, candidates,
+            iterations=16, workers=2, store=store, metrics=metrics,
+        )
+        snapshot = metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["dse.shard.units"] == len(candidates)
+        assert counters["dse.shard.chunks"] >= 1
+        assert counters["dse.shard.computed"] == len(candidates)
+        assert counters["dse.shard.memo_hits"] == 0
+        assert counters["dse.shard.store_hits"] == 0
+        assert counters["dse.shard.deadlocks"] == 0
+        assert "dse.shard.run" in snapshot["timers"]
+        assert "dse.shard.units_per_worker" in snapshot["histograms"]
+
+    def test_store_stats_merged_under_store_prefix(
+        self, motivating, optimal_ordering, tmp_path
+    ):
+        metrics = MetricsRegistry()
+        store = ArtifactStore(tmp_path / "store")
+        evaluate_candidates(
+            motivating, optimal_ordering, [Candidate.of()],
+            iterations=16, store=store, metrics=metrics,
+        )
+        snapshot = metrics.snapshot()
+        assert any(
+            name.startswith("store.") for name in snapshot["counters"]
+        ), snapshot["counters"]
+
+
+class TestEdges:
+    def test_empty_units_is_empty(self, motivating, optimal_ordering):
+        with ShardedRunner(workers=2) as runner:
+            assert runner.run(motivating, optimal_ordering, []) == []
+        # No units means the pool was never created.
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedRunner(workers=-1)
+
+    def test_default_ordering_is_declaration_order(self, tiny_pipeline):
+        outcomes = evaluate_candidates(
+            tiny_pipeline, None, [Candidate.of()], iterations=16
+        )
+        assert not outcomes[0].deadlocked
+        assert outcomes[0].measured_cycle_time is not None
