@@ -150,6 +150,15 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         bench="test_bench_shard.py",
     ),
     Experiment(
+        id="SYM",
+        artifact="extension: structural symmetry analysis",
+        claim="quotient search >= 4x fewer states than POR alone on an "
+        "8-stage symmetric ring; orbit dedup >= 2x fewer ordering "
+        "analyses, aggregates bit-identical; labeling < 5% of one "
+        "simulation",
+        bench="test_bench_sym.py",
+    ),
+    Experiment(
         id="SIMD",
         artifact="extension: batched vectorized simulation",
         claim="64 DSE candidates in lock-step over one compiled IR "

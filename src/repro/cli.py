@@ -83,6 +83,65 @@ def _parse_rule_list(raw: str | None) -> list[str] | None:
     return cleaned or None
 
 
+def _symmetry_doc(ir) -> dict:
+    """JSON-friendly orbit report of a lowered program's symmetry."""
+    from repro.sym import analyze_symmetry
+
+    analysis = analyze_symmetry(ir)
+    return {
+        "canonical_hash": analysis.canonical_hash,
+        "complete": analysis.complete,
+        "generators": len(analysis.generators),
+        "process_orbits": [
+            [ir.processes[pid] for pid in orbit]
+            for orbit in analysis.process_orbits
+        ],
+        "channel_orbits": [
+            [ir.channels[cid] for cid in orbit]
+            for orbit in analysis.channel_orbits
+        ],
+        "replicated_process_orbits": [
+            [ir.processes[pid] for pid in orbit]
+            for orbit in analysis.replicated_process_orbits
+        ],
+        "replicated_channel_orbits": [
+            [ir.channels[cid] for cid in orbit]
+            for orbit in analysis.replicated_channel_orbits
+        ],
+    }
+
+
+def _format_symmetry(ir) -> str:
+    """Text orbit report of a lowered program's symmetry."""
+    from repro.sym import analyze_symmetry
+
+    analysis = analyze_symmetry(ir)
+    lines = ["symmetry:"]
+    lines.append(f"  canonical hash: {analysis.canonical_hash}")
+    if not analysis.complete:
+        lines.append(
+            "  labeling budget exhausted: hash falls back to the "
+            "structural hash; orbits below may be under-merged"
+        )
+    lines.append(f"  automorphism generators: {len(analysis.generators)}")
+    replicated_p = analysis.replicated_process_orbits
+    replicated_c = analysis.replicated_channel_orbits
+    if not replicated_p and not replicated_c:
+        lines.append("  no replicated families (trivial symmetry)")
+        return "\n".join(lines) + "\n"
+    if replicated_p:
+        lines.append("  replicated process families:")
+        for orbit in replicated_p:
+            members = ", ".join(ir.processes[pid] for pid in orbit)
+            lines.append(f"    [{len(orbit)}x] {members}")
+    if replicated_c:
+        lines.append("  replicated channel families:")
+        for orbit in replicated_c:
+            members = ", ".join(ir.channels[cid] for cid in orbit)
+            lines.append(f"    [{len(orbit)}x] {members}")
+    return "\n".join(lines) + "\n"
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     import json
 
@@ -93,6 +152,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     ordering = _load_ordering_arg(system, args.ordering)
     static = absint_analyze(system, ordering)
 
+    symmetry_ir = None
+    if args.symmetry:
+        from repro.ir import lower
+
+        symmetry_ir = lower(system, ordering)
+
     if static.token_free_cycle is not None:
         # No cycle time exists for a deadlocked configuration; the
         # static report (with the witness cycle) is the whole answer.
@@ -102,9 +167,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 "performance": None,
                 "static": result_to_dict(static),
             }
+            if symmetry_ir is not None:
+                payload["symmetry"] = _symmetry_doc(symmetry_ir)
             print(json.dumps(payload, indent=2, sort_keys=True))
         else:
             print(format_result(static), end="")
+            if symmetry_ir is not None:
+                print(_format_symmetry(symmetry_ir), end="")
         print(
             f"deadlock: {system.name!r} has a token-free cycle; "
             "run `ermes lint` for the diagnosis",
@@ -126,6 +195,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             },
             "static": result_to_dict(static),
         }
+        if symmetry_ir is not None:
+            payload["symmetry"] = _symmetry_doc(symmetry_ir)
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"system:            {system.name}")
@@ -135,6 +206,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"critical channels:  {', '.join(performance.critical_channels)}")
     print()
     print(format_result(static), end="")
+    if symmetry_ir is not None:
+        print()
+        print(_format_symmetry(symmetry_ir), end="")
     return 0
 
 
@@ -178,6 +252,7 @@ def _cmd_ir(args: argparse.Namespace) -> int:
                 }
                 for cid, name in enumerate(ir.channels)
             ],
+            "symmetry": _symmetry_doc(ir),
         }
         text = json.dumps(doc, indent=2) + "\n"
     else:
@@ -219,6 +294,8 @@ def _cmd_ir(args: argparse.Namespace) -> int:
                 f"  [{cid}] {name}: {route}, "
                 f"latency {ir.channel_latencies[cid]}, {shape}"
             )
+        lines.append("")
+        lines.append(_format_symmetry(ir).rstrip("\n"))
         text = "\n".join(lines) + "\n"
 
     if args.output:
@@ -284,6 +361,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         system,
         ordering,
         por=not args.no_por,
+        sym=args.sym,
         budget_states=args.budget_states,
         budget_seconds=args.budget_seconds,
         metrics=metrics,
@@ -298,6 +376,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             "transitions_fired": result.transitions_fired,
             "por": result.por,
             "por_pruned": result.por_pruned,
+            "sym": result.sym,
+            "sym_merged": result.sym_merged,
             "state_space_bound": result.state_space_bound,
             "elapsed_s": result.elapsed_s,
             "budget_states": result.budget_states,
@@ -859,6 +939,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ordering", help="ordering JSON file")
     p.add_argument("--engine", default="howard",
                    choices=[e.value for e in Engine])
+    p.add_argument("--symmetry", action="store_true",
+                   help="include the orbit report of the lowered program "
+                        "(replicated families + canonical hash)")
     p.add_argument("--float", action="store_true",
                    help="float arithmetic (faster on huge systems)")
     p.add_argument("--format", default="text", choices=["text", "json"],
@@ -907,6 +990,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock cap with the same contract")
     p.add_argument("--trace", action="store_true",
                    help="print the full witness schedule, one step per line")
+    p.add_argument("--sym", action="store_true",
+                   help="canonicalize states to orbit representatives "
+                        "(symmetry reduction; composes with POR)")
     p.add_argument("--no-por", action="store_true", dest="no_por",
                    help="disable the stubborn-set reduction (explore the "
                         "full interleaving)")

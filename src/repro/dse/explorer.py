@@ -19,6 +19,7 @@ trajectory is recorded so the Fig. 6 exploration plots can be regenerated.
 
 from __future__ import annotations
 
+import logging
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -45,6 +46,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store import ArtifactStore
 
 Number = Union[Fraction, float]
+
+_log = logging.getLogger(__name__)
 
 #: Hashable identity of a :class:`ChannelOrdering` (which carries plain,
 #: unhashable dicts): per-process get and put sequences, sorted by name.
@@ -187,6 +190,22 @@ class Explorer:
             when ``perf_engine`` is supplied — configure that engine's
             store directly) and shared with the sharded measurement
             workers, so analyses and simulations survive the process.
+            Conclusive ordering verdicts are persisted too (kind
+            ``"verify"``, keyed by the ordering's ``ir_hash``), so
+            machine-checks survive process restarts; reuse is counted
+            under ``dse.verify.store_hits``.
+        sym_dedup: Dedup ordering *verifications* by orbit-canonical key
+            (:mod:`repro.sym`): when Algorithm 1 produces an ordering
+            whose lowered IR is isomorphic to one already machine-checked
+            this run, the check is skipped — deadlock-freedom is
+            invariant under IR automorphisms, and the skip count is both
+            metered (``dse.sym.verify_deduped``) and logged, never
+            silent.  The exploration *trajectory* is untouched: analyses,
+            ILP cuts, and iteration decisions never consult the orbit.
+        sym_seen: Optional shared set of already-verified canonical
+            hashes.  :func:`repro.dse.sweep.sweep_targets` passes one
+            set across its per-target explorers so symmetric neighbors
+            are verified once per sweep, not once per target.
     """
 
     def __init__(
@@ -203,6 +222,8 @@ class Explorer:
         batch_iterations: int = 32,
         workers: int = 1,
         store: "ArtifactStore | None" = None,
+        sym_dedup: bool = True,
+        sym_seen: set[str] | None = None,
     ):
         self.target_cycle_time = target_cycle_time
         self.max_iterations = max_iterations
@@ -220,6 +241,8 @@ class Explorer:
             batch = batch_enabled_by_env()
         self.batch = batch
         self.batch_iterations = batch_iterations
+        self.sym_dedup = sym_dedup
+        self._sym_seen = sym_seen if sym_seen is not None else set()
         # Memoized Algorithm 1 results: sweeps revisit configurations, and
         # orderings are immutable values safe to share.
         self._ordering_cache = LruCache(maxsize=256)
@@ -257,6 +280,7 @@ class Explorer:
         result = ExplorationResult(target_cycle_time=self.target_cycle_time)
         visited: set[tuple[tuple[str, str], ...]] = {config.selection_key()}
         verified_orderings: set[OrderingFingerprint] = set()
+        sym_deduped = 0
         # Computed once, deliberately: the caps depend only on the target
         # and on each process's channel latencies/bufferings — structural
         # quantities that no exploration step (selection or reordering)
@@ -363,12 +387,28 @@ class Explorer:
                 if reordered:
                     candidate = candidate.with_ordering(new_ordering)
                 # Even an unchanged result is an ordering Algorithm 1
-                # produced — machine-check each distinct one once per run.
+                # produced — machine-check each distinct one once per run
+                # and once per orbit: an ordering isomorphic to an
+                # already-verified one shares its verdict.
                 fingerprint = _ordering_fingerprint(new_ordering)
                 if fingerprint not in verified_orderings:
                     verified_orderings.add(fingerprint)
-                    with timed("dse.verify"):
-                        self._verify_ordering(candidate, metrics)
+                    canonical = (
+                        self._canonical_key(candidate)
+                        if self.sym_dedup
+                        else None
+                    )
+                    if canonical is not None and canonical in self._sym_seen:
+                        sym_deduped += 1
+                        if metrics is not None:
+                            metrics.counter("dse.sym.verify_deduped").add(1)
+                    else:
+                        with timed("dse.verify"):
+                            self._verify_ordering(candidate, metrics)
+                        if canonical is not None:
+                            # Only a check that *returned* marks the
+                            # orbit verified (a deadlock raises out).
+                            self._sym_seen.add(canonical)
 
             if not changes and not reordered:
                 none_record = self._record(
@@ -414,6 +454,13 @@ class Explorer:
         else:
             result.final = config
             result.final_index = len(result.history) - 1
+        if sym_deduped:
+            _log.info(
+                "dse.sym: skipped %d symmetric re-verification(s) for %r "
+                "(orderings isomorphic to an already machine-checked one)",
+                sym_deduped,
+                config.system.name,
+            )
         result.cache_stats = self.perf_engine.stats_dict()
         if self.batch:
             with timed("dse.batch"):
@@ -503,6 +550,30 @@ class Explorer:
             if metrics is not None:
                 metrics.counter("dse.absint.certified").add(1)
             return
+        # Persisted verdict short-circuit: a conclusive DEADLOCK_FREE is
+        # a proof, valid whatever budget this run would have used.  The
+        # canonical hash is the second-chance key — deadlock-freedom is
+        # invariant under IR automorphisms, so a symmetric sibling's
+        # verdict transfers.
+        ir: "LoweredIR | None" = None
+        digest = None
+        canonical = None
+        if self.store is not None:
+            from repro.store import params_digest
+
+            ir = self._lowered(config)
+            digest = params_digest({"op": "verify"})
+            hit = self.store.get(ir.structural_hash, "verify", digest)
+            if hit != "deadlock-free" and self.sym_dedup:
+                canonical = self._canonical_key(config)
+                if canonical is not None and canonical != ir.structural_hash:
+                    hit = self.store.get(canonical, "verify", digest)
+                    if hit == "deadlock-free" and metrics is not None:
+                        metrics.counter("dse.sym.store_hits").add(1)
+            if hit == "deadlock-free":
+                if metrics is not None:
+                    metrics.counter("dse.verify.store_hits").add(1)
+                return
         if metrics is not None:
             metrics.counter("dse.absint.bfs_crosschecks").add(1)
             metrics.counter("dse.verify.runs").add(1)
@@ -517,6 +588,27 @@ class Explorer:
         except BudgetExceeded:
             if metrics is not None:
                 metrics.counter("dse.verify.inconclusive").add(1)
+            return
+        if self.store is not None and ir is not None and digest is not None:
+            # Only the conclusive free verdict persists (a deadlock
+            # raised out above; inconclusive runs returned early).
+            self.store.put(ir.structural_hash, "verify", digest, "deadlock-free")
+            if canonical is None and self.sym_dedup:
+                canonical = self._canonical_key(config)
+            if canonical is not None and canonical != ir.structural_hash:
+                self.store.put(canonical, "verify", digest, "deadlock-free")
+
+    def _canonical_key(self, config: SystemConfiguration) -> str | None:
+        """Orbit-canonical hash of the candidate's lowered IR.
+
+        ``None`` when the labeling hit its node budget — an incomplete
+        canonical form must not serve as a dedup key (isomorphic inputs
+        could disagree), so such candidates are verified concretely.
+        """
+        from repro.sym import analyze_symmetry
+
+        analysis = analyze_symmetry(self._lowered(config))
+        return analysis.canonical_hash if analysis.complete else None
 
     @staticmethod
     def _lowered(config: SystemConfiguration) -> "LoweredIR":

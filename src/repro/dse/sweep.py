@@ -97,6 +97,10 @@ def sweep_targets(
     preflight(config.system, config.ordering)
     base_ir_hash = lower(config.system, config.ordering).structural_hash
     explorer_kwargs.setdefault("perf_engine", PerformanceEngine(store=store))
+    # One orbit-canonical verified set across all per-target explorers:
+    # symmetric orderings are machine-checked once per sweep, not once
+    # per target (the per-explorer dedup still reports per-run counts).
+    explorer_kwargs.setdefault("sym_seen", set())
     profiler = explorer_kwargs.get("profiler")
     points: list[SweepPoint] = []
     current = config

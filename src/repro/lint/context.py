@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hls.pareto import ImplementationLibrary
     from repro.ir import LoweredIR
     from repro.model.performance import SystemPerformance
+    from repro.sym import SymmetryAnalysis
     from repro.verify.checker import VerificationResult
 
 _UNSET = object()
@@ -65,6 +66,9 @@ class LintContext:
         self._verification: object = _UNSET
         self._ir: object = _UNSET
         self._absint: object = _UNSET
+        self._symmetry: object = _UNSET
+        self._symmetry_order_relaxed: object = _UNSET
+        self._symmetry_topology_relaxed: object = _UNSET
 
     # ------------------------------------------------------------------
     # Structural soundness
@@ -145,6 +149,70 @@ class LintContext:
 
                 self._absint = analyze_ir(ir)
         return self._absint  # type: ignore[return-value]
+
+    def symmetry(self) -> "SymmetryAnalysis | None":
+        """The strict (``EXACT``-policy) symmetry analysis, or ``None``.
+
+        Canonical labeling of the lowered program
+        (:func:`repro.sym.analyze_symmetry`): process/channel orbits,
+        verified generator permutations, and the orbit-canonical hash.
+        ``None`` when the configuration is not sound.  Served from the
+        process-wide symmetry memo, so the verifier and explorer that run
+        after a lint pre-flight reuse this exact analysis.  Runs at every
+        system scale — the labeling budget is adaptive and refinement
+        alone settles asymmetric designs quickly.
+        """
+        if self._symmetry is _UNSET:
+            self._symmetry = self._analyze_symmetry(None)
+        return self._symmetry  # type: ignore[return-value]
+
+    def symmetry_order_relaxed(self) -> "SymmetryAnalysis | None":
+        """Program-order-insensitive symmetry, or ``None``.
+
+        The ``ORDER_RELAXED`` policy ignores statement order inside
+        processes (channel attributes still matter), exposing design
+        families whose members differ only by ordering.  Small systems
+        only — the relaxed rules that consume this enumerate group
+        elements, which is a small-system pastime.
+        """
+        if self._symmetry_order_relaxed is _UNSET:
+            from repro.sym import ORDER_RELAXED
+
+            self._symmetry_order_relaxed = self._analyze_symmetry(
+                ORDER_RELAXED, small_only=True
+            )
+        return self._symmetry_order_relaxed  # type: ignore[return-value]
+
+    def symmetry_topology_relaxed(self) -> "SymmetryAnalysis | None":
+        """Pure endpoint-topology symmetry, or ``None``.
+
+        Relaxes *both* statement order and channel attributes, grouping
+        channels by the shape of the communication graph alone — the
+        lens under which an asymmetric capacity inside an otherwise
+        replicated family becomes visible (ERM703).  Small systems only.
+        """
+        if self._symmetry_topology_relaxed is _UNSET:
+            from repro.sym import TOPOLOGY_RELAXED
+
+            self._symmetry_topology_relaxed = self._analyze_symmetry(
+                TOPOLOGY_RELAXED, small_only=True
+            )
+        return self._symmetry_topology_relaxed  # type: ignore[return-value]
+
+    def _analyze_symmetry(
+        self, policy: object, small_only: bool = False
+    ) -> "SymmetryAnalysis | None":
+        ir = self.ir()
+        if ir is None:
+            return None
+        if small_only:
+            from repro.verify.checker import is_small_system
+
+            if not is_small_system(self.system):
+                return None
+        from repro.sym import EXACT, analyze_symmetry
+
+        return analyze_symmetry(ir, policy=policy if policy is not None else EXACT)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     # Deadlock facts

@@ -29,7 +29,7 @@ class Rule:
     Attributes:
         code: Stable identifier (``ERM`` + three digits; the hundreds digit
             is the category: 1 structural, 2 deadlock, 3 performance,
-            4 hygiene, 5 verification, 6 dataflow).
+            4 hygiene, 5 verification, 6 dataflow, 7 symmetry).
         name: Short kebab-case name (used as the SARIF rule name).
         severity: Default severity of the findings this rule emits.
         summary: One-line description for catalogs and SARIF metadata.
@@ -177,4 +177,5 @@ def category(code: str) -> str:
         "4": "hygiene",
         "5": "verification",
         "6": "dataflow",
+        "7": "symmetry",
     }.get(code[3:4], "other")

@@ -8,6 +8,7 @@ from repro.lint.rules.deadlock import register_deadlock
 from repro.lint.rules.hygiene import register_hygiene
 from repro.lint.rules.performance import register_performance
 from repro.lint.rules.structural import register_structural
+from repro.lint.rules.symmetry import register_symmetry
 from repro.lint.rules.verification import register_verification
 
 
@@ -19,6 +20,7 @@ def register_builtin_rules(registry: RuleRegistry) -> RuleRegistry:
     register_hygiene(registry)
     register_verification(registry)
     register_absint(registry)
+    register_symmetry(registry)
     return registry
 
 
@@ -29,5 +31,6 @@ __all__ = [
     "register_hygiene",
     "register_performance",
     "register_structural",
+    "register_symmetry",
     "register_verification",
 ]

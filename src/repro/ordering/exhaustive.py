@@ -25,7 +25,14 @@ Number = Union[Fraction, float]
 
 @dataclass(frozen=True)
 class SearchResult:
-    """Outcome of exhaustively analyzing the ordering space."""
+    """Outcome of exhaustively analyzing the ordering space.
+
+    ``sym_deduped``/``sym_classes`` report the orbit dedup (see
+    :func:`exhaustive_search`'s ``sym_dedup``): how many orderings were
+    served from an already-analyzed symmetric representative, and how
+    many distinct canonical classes were actually analyzed.  Both stay
+    0 when the dedup is off.
+    """
 
     total_orderings: int
     deadlocking_orderings: int
@@ -33,6 +40,8 @@ class SearchResult:
     best_ordering: ChannelOrdering | None
     worst_cycle_time: Number | None
     worst_ordering: ChannelOrdering | None
+    sym_deduped: int = 0
+    sym_classes: int = 0
 
     @property
     def live_orderings(self) -> int:
@@ -45,6 +54,7 @@ def exhaustive_search(
     engine: Engine | str = Engine.HOWARD,
     on_ordering: Callable[[ChannelOrdering, Number | None], None] | None = None,
     perf_engine: PerformanceEngine | None = None,
+    sym_dedup: bool = False,
 ) -> SearchResult:
     """Analyze every channel ordering of ``system``.
 
@@ -59,6 +69,15 @@ def exhaustive_search(
             Every ordering has a distinct fingerprint, so within one sweep
             only the float-screened Howard mode helps; across repeated
             sweeps (tests, benchmarks) results hit the cache directly.
+        sym_dedup: Analyze only one ordering per orbit of the design's
+            automorphism group (:mod:`repro.sym`).  Two orderings whose
+            lowered IRs share an orbit-canonical hash *and* whose
+            canonical-position latency vectors match denote isomorphic
+            timed marked graphs, so the representative's exact cycle
+            time is replayed for the whole class — every counter,
+            callback, and best/worst comparison still fires per
+            ordering, making the result bit-identical to the undeduped
+            sweep for exact engines.
 
     Raises:
         ValueError: The order space exceeds ``limit``.
@@ -74,19 +93,53 @@ def exhaustive_search(
     deadlocks = 0
     best: tuple[Number, ChannelOrdering] | None = None
     worst: tuple[Number, ChannelOrdering] | None = None
+    # Orbit memo: (canonical_hash, canonical latency vector) -> cycle
+    # time, or None for a deadlocking class.
+    memo: dict[tuple[str, tuple[int, ...]], Number | None] = {}
+    deduped = 0
+
+    def class_key(
+        ordering: ChannelOrdering,
+    ) -> tuple[str, tuple[int, ...]] | None:
+        from repro.ir import lower
+        from repro.sym import analyze_symmetry
+
+        analysis = analyze_symmetry(lower(system, ordering))
+        if not analysis.complete:
+            return None  # budget-capped labeling: analyze concretely
+        latencies = tuple(
+            system.process(name).latency
+            for name in analysis.canonical_process_names
+        )
+        return (analysis.canonical_hash, latencies)
 
     for ordering in all_orderings(system):
         total += 1
-        try:
-            performance = analyze_system(
-                system, ordering, engine=engine, perf_engine=perf_engine
-            )
-        except DeadlockError:
-            deadlocks += 1
-            if on_ordering is not None:
-                on_ordering(ordering, None)
-            continue
-        ct = performance.cycle_time
+        key = class_key(ordering) if sym_dedup else None
+        if key is not None and key in memo:
+            deduped += 1
+            ct_memo = memo[key]
+            if ct_memo is None:
+                deadlocks += 1
+                if on_ordering is not None:
+                    on_ordering(ordering, None)
+                continue
+            ct = ct_memo
+        else:
+            try:
+                performance = analyze_system(
+                    system, ordering, engine=engine, perf_engine=perf_engine
+                )
+            except DeadlockError:
+                deadlocks += 1
+                if key is not None:
+                    memo[key] = None
+                if on_ordering is not None:
+                    on_ordering(ordering, None)
+                continue
+            ct = performance.cycle_time
+            if key is not None:
+                memo[key] = ct
         if on_ordering is not None:
             on_ordering(ordering, ct)
         if best is None or ct < best[0]:
@@ -101,4 +154,6 @@ def exhaustive_search(
         best_ordering=best[1] if best else None,
         worst_cycle_time=worst[0] if worst else None,
         worst_ordering=worst[1] if worst else None,
+        sym_deduped=deduped,
+        sym_classes=len(memo),
     )

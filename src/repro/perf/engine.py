@@ -79,6 +79,18 @@ class PerformanceEngine:
             This is how a warm cache survives the process and is shared
             by a worker fleet; :meth:`clear` stays process-local (use
             ``store.clear()`` to invalidate the fleet).
+        canonical_reuse: Opt-in second-chance store key by the
+            orbit-canonical hash (:mod:`repro.sym`): when both the exact
+            structural lookup and the plain store lookup miss, a
+            persisted result computed for *any* isomorphic design with
+            matching canonical-position latencies is translated into
+            this design's name frame (:mod:`repro.sym.remap`) and
+            served.  The cycle time is exact-identical; the reported
+            critical cycle may be the symmetric image of the one a
+            fresh analysis would pick (same caveat class as
+            ``float_screen``).  Off by default so store warmth cannot
+            perturb default DSE trajectories; no effect without a
+            ``store``.  Deadlock diagnoses are never shared this way.
     """
 
     def __init__(
@@ -88,12 +100,14 @@ class PerformanceEngine:
         incremental: bool = True,
         float_screen: bool = True,
         store: ArtifactStore | None = None,
+        canonical_reuse: bool = False,
     ):
         self.results = LruCache(max_results)
         self.structures = LruCache(max_structures)
         self.incremental = incremental
         self.float_screen = float_screen
         self.store = store
+        self.canonical_reuse = canonical_reuse
 
     # ------------------------------------------------------------------
 
@@ -136,6 +150,11 @@ class PerformanceEngine:
                 if isinstance(stored, _CachedDeadlock):
                     raise stored.error()
                 return stored
+            if self.canonical_reuse:
+                translated = self._canonical_lookup(ir, latencies, engine, exact, screen)
+                if translated is not None:
+                    self.results.put(result_key, translated)
+                    return translated
 
         entry = self._structure(structure_key, system, ordering, latencies, ir)
         if entry.deadlock_cycle is not None:
@@ -173,7 +192,62 @@ class PerformanceEngine:
         self.results.put(result_key, performance)
         if self.store is not None:
             self.store.put(structure_key, "analysis", result_key, performance)
+            if self.canonical_reuse:
+                self._canonical_store(ir, latencies, engine, exact, screen, performance)
         return performance
+
+    # ------------------------------------------------------------------
+
+    def _canonical_lookup(
+        self,
+        ir: LoweredIR,
+        latencies: Mapping[str, int],
+        engine: Engine,
+        exact: bool,
+        screen: bool,
+    ) -> SystemPerformance | None:
+        """Second-chance store read via the orbit-canonical key."""
+        from repro.sym import analyze_symmetry
+        from repro.sym.remap import canonical_result_key, remap_performance
+
+        assert self.store is not None
+        analysis = analyze_symmetry(ir)
+        if not analysis.complete:
+            return None  # incomplete labeling: hashes are not canonical
+        key = canonical_result_key(
+            analysis, latencies, engine.value, exact, screen
+        )
+        envelope = self.store.get(analysis.canonical_hash, "analysis", key)
+        if envelope is MISS:
+            return None
+        return remap_performance(envelope, analysis)
+
+    def _canonical_store(
+        self,
+        ir: LoweredIR,
+        latencies: Mapping[str, int],
+        engine: Engine,
+        exact: bool,
+        screen: bool,
+        performance: SystemPerformance,
+    ) -> None:
+        """Write the canonical-frame envelope next to the exact entry."""
+        from repro.sym import analyze_symmetry
+        from repro.sym.remap import canonical_result_key, make_envelope
+
+        assert self.store is not None
+        analysis = analyze_symmetry(ir)
+        if not analysis.complete:
+            return
+        key = canonical_result_key(
+            analysis, latencies, engine.value, exact, screen
+        )
+        self.store.put(
+            analysis.canonical_hash,
+            "analysis",
+            key,
+            make_envelope(performance, analysis),
+        )
 
     # ------------------------------------------------------------------
 

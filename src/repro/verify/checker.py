@@ -38,6 +38,7 @@ from repro.verify.witness import DeadlockWitness, decode_deadlock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
+    from repro.sym.states import StateSymmetry
 
 #: Default cap on explored states — comfortably above every shipped
 #: example while still bounding degenerate blow-ups to well under a
@@ -70,6 +71,12 @@ class VerificationResult:
         reason: Why the run stopped (always set; for ``INCONCLUSIVE``
             it names the exhausted budget).
         por: Whether the reduction was active.
+        sym: Whether quotient-space symmetry reduction was active (it
+            silently stays off when the design's automorphism group is
+            trivial, even under ``sym=True``).
+        sym_merged: Successor states folded onto an already-visited
+            orbit representative by a non-identity automorphism
+            (0 when ``sym`` is off).
     """
 
     verdict: Verdict
@@ -83,6 +90,8 @@ class VerificationResult:
     budget_seconds: float | None
     reason: str
     por: bool
+    sym: bool = False
+    sym_merged: int = 0
 
     @property
     def deadlocked(self) -> bool:
@@ -105,6 +114,8 @@ class VerificationResult:
             f"transitions fired: {self.transitions_fired}",
             f"por: {'on' if self.por else 'off'},"
             f" pruned {self.por_pruned} interleavings",
+            f"sym: {'on' if self.sym else 'off'},"
+            f" merged {self.sym_merged} symmetric states",
             f"elapsed: {self.elapsed_s:.3f}s",
         ]
         if self.witness is not None:
@@ -121,6 +132,7 @@ def check_deadlock(
     budget_states: int = DEFAULT_BUDGET_STATES,
     budget_seconds: float | None = None,
     use_certificate: bool = False,
+    sym: bool = False,
     metrics: "MetricsRegistry | None" = None,
 ) -> VerificationResult:
     """Exhaustively decide deadlock reachability, within budget.
@@ -144,6 +156,14 @@ def check_deadlock(
             default: callers pinning budget semantics (and the ERM5xx
             lint rules, whose job is the exhaustive answer) keep the
             plain search.
+        sym: Quotient-space symmetry reduction: canonicalize every BFS
+            state to its orbit representative under the design's
+            verified automorphism group (:mod:`repro.sym`) before the
+            visited-set lookup.  Composes with the stubborn-set
+            reduction; verdicts are unchanged (``docs/THEORY.md`` §8)
+            and ``DEADLOCKED`` witnesses are pulled back to a concrete
+            replayable schedule.  A trivial group degrades gracefully
+            to the plain search.
         metrics: Optional registry; the run reports under the stable
             ``verify.*`` names (``docs/OBSERVABILITY.md``).
     """
@@ -176,6 +196,13 @@ def check_deadlock(
                 ),
                 por=por,
             )
+    sym_engine = None
+    if sym:
+        from repro.sym.states import StateSymmetry
+
+        sym_engine = StateSymmetry(ts)
+        if sym_engine.trivial:
+            sym_engine = None  # no symmetry: plain search, honestly flagged
     timer_cm = (
         metrics.timer("verify.search") if metrics is not None else None
     )
@@ -183,7 +210,12 @@ def check_deadlock(
     if timer_cm is not None:
         timer_cm.__enter__()
     try:
-        outcome = _search(ts, por, budget_states, budget_seconds, start)
+        if sym_engine is not None:
+            outcome = _search_sym(
+                ts, sym_engine, por, budget_states, budget_seconds, start
+            )
+        else:
+            outcome = _search(ts, por, budget_states, budget_seconds, start)
     finally:
         if timer_cm is not None:
             timer_cm.__exit__(None, None, None)
@@ -192,6 +224,9 @@ def check_deadlock(
         metrics.counter("verify.states.explored").add(outcome.states_explored)
         metrics.counter("verify.transitions").add(outcome.transitions_fired)
         metrics.counter("verify.por.pruned").add(outcome.por_pruned)
+        if outcome.sym:
+            metrics.counter("verify.sym.runs").add(1)
+            metrics.counter("verify.sym.merged").add(outcome.sym_merged)
         if outcome.deadlocked:
             metrics.counter("verify.deadlocks").add(1)
     return outcome
@@ -293,6 +328,138 @@ def _schedule_to(
     return tuple(schedule)
 
 
+def _search_sym(
+    ts: TransitionSystem,
+    sym: "StateSymmetry",
+    por: bool,
+    budget_states: int,
+    budget_seconds: float | None,
+    start: float,
+) -> VerificationResult:
+    """BFS over orbit representatives instead of concrete states.
+
+    Every explored state is the canonical representative of its orbit
+    under the IR's verified automorphism group, so symmetric copies of
+    a state are expanded once.  Soundness (``docs/THEORY.md`` §8): an
+    automorphism commutes with the successor relation and preserves
+    deadlockedness, so a deadlock is reachable in the quotient iff one
+    is reachable concretely.  Parent pointers additionally record the
+    canonicalizing permutation of each step, letting the witness
+    reconstruction pull the representative-frame schedule back to a
+    concrete replayable one.
+    """
+    from repro.sym.perm import (
+        PairPerm,
+        compose_pair,
+        invert_pair,
+        is_identity_pair,
+    )
+
+    concrete_initial = ts.initial_state()
+    initial, initial_pi = sym.canonicalize(concrete_initial)
+    # rep -> (parent rep, action in the parent's frame, canonicalizing
+    # permutation pi with rep == pi(successor(parent, action))).
+    parents: dict[State, tuple[State, Action, PairPerm] | None] = {
+        initial: None
+    }
+    frontier: deque[State] = deque([initial])
+    explored = 0
+    fired = 0
+    pruned = 0
+    merged = 0
+
+    def finish(
+        verdict: Verdict, reason: str, witness: DeadlockWitness | None = None
+    ) -> VerificationResult:
+        return VerificationResult(
+            verdict=verdict,
+            witness=witness,
+            states_explored=explored,
+            transitions_fired=fired,
+            por_pruned=pruned,
+            state_space_bound=ts.state_space_bound(),
+            elapsed_s=time.perf_counter() - start,
+            budget_states=budget_states,
+            budget_seconds=budget_seconds,
+            reason=reason,
+            por=por,
+            sym=True,
+            sym_merged=merged,
+        )
+
+    def concrete_witness(deadlock_rep: State) -> DeadlockWitness:
+        # Walk back collecting (action, pi) per step, then replay
+        # forward tracking the cumulative frame map sigma (concrete ->
+        # representative): sigma_0 = pi_0, the concrete action is
+        # sigma_i^-1(a_{i+1}), and sigma_{i+1} = pi_{i+1} o sigma_i.
+        steps: list[tuple[Action, PairPerm]] = []
+        cursor = deadlock_rep
+        while True:
+            entry = parents[cursor]
+            if entry is None:
+                break
+            cursor, action, pi = entry
+            steps.append((action, pi))
+        steps.reverse()
+        sigma = initial_pi
+        schedule: list[Action] = []
+        for action, pi in steps:
+            schedule.append(sym.map_action(invert_pair(sigma), action))
+            sigma = compose_pair(pi, sigma)
+        concrete = sym.apply(invert_pair(sigma), deadlock_rep)
+        return decode_deadlock(ts, concrete, tuple(schedule))
+
+    TIME_CHECK_EVERY = 256
+
+    while frontier:
+        state = frontier.popleft()
+        explored += 1
+        if explored > budget_states:
+            return finish(
+                Verdict.INCONCLUSIVE,
+                f"state budget exceeded ({budget_states} states)",
+            )
+        if (
+            budget_seconds is not None
+            and explored % TIME_CHECK_EVERY == 0
+            and time.perf_counter() - start > budget_seconds
+        ):
+            return finish(
+                Verdict.INCONCLUSIVE,
+                f"time budget exceeded ({budget_seconds}s)",
+            )
+        enabled = ts.enabled_actions(state)
+        if not enabled:
+            if ts.is_deadlock(state):
+                witness = concrete_witness(state)
+                return finish(
+                    Verdict.DEADLOCKED,
+                    "deadlocked state reachable in "
+                    f"{len(witness.schedule)} steps",
+                    witness,
+                )
+            continue  # no communicating process: nothing to do, nothing stuck
+        if por and len(enabled) > 1:
+            expand = stubborn_set(ts, state, enabled)
+            pruned += len(enabled) - len(expand)
+        else:
+            expand = enabled
+        for action in expand:
+            fired += 1
+            successor = ts.successor(state, action)
+            rep, pi = sym.canonicalize(successor)
+            if not is_identity_pair(pi):
+                merged += 1
+            if rep not in parents:
+                parents[rep] = (state, action, pi)
+                frontier.append(rep)
+    return finish(
+        Verdict.DEADLOCK_FREE,
+        f"all {explored} reachable orbit representatives enumerated, "
+        "none deadlocked",
+    )
+
+
 #: Systems at or below this many processes + channels are "small": the
 #: explorer machine-checks Algorithm 1's output on them after every
 #: reordering (state spaces this size verify in well under a second).
@@ -312,6 +479,7 @@ def verify_ordering(
     budget_states: int = DEFAULT_BUDGET_STATES,
     budget_seconds: float | None = None,
     use_certificate: bool = False,
+    sym: bool = False,
     metrics: "MetricsRegistry | None" = None,
 ) -> VerificationResult:
     """Machine-check that ``ordering`` cannot deadlock — strictly.
@@ -333,6 +501,7 @@ def verify_ordering(
         budget_states=budget_states,
         budget_seconds=budget_seconds,
         use_certificate=use_certificate,
+        sym=sym,
         metrics=metrics,
     )
     if result.verdict is Verdict.INCONCLUSIVE:

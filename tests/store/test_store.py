@@ -142,6 +142,26 @@ class TestMaintenance:
         assert store.get(IR_HASH, "sim", digests[-1]) == 4
         assert store.get(IR_HASH, "sim", digests[0]) is MISS
 
+    def test_prune_same_mtime_is_deterministic(self, store):
+        import os
+
+        # Regression: two entries sharing one mtime used to make the
+        # survivor filesystem-enumeration-dependent.  The (mtime, path)
+        # sort key pins it: the lexicographically larger path survives.
+        d1 = params_digest({"i": 1})
+        d2 = params_digest({"i": 2})
+        store.put(IR_HASH, "sim", d1, "one")
+        store.put(IR_HASH, "sim", d2, "two")
+        stamp = 1_000_000_000.0
+        p1 = store.path_of(IR_HASH, "sim", d1)
+        p2 = store.path_of(IR_HASH, "sim", d2)
+        os.utime(p1, (stamp, stamp))
+        os.utime(p2, (stamp, stamp))
+        assert store.prune(1) == 1
+        survivor, evicted = sorted([p1, p2], key=str)[::-1]
+        assert survivor.exists()
+        assert not evicted.exists()
+
     def test_prune_noop_under_limit(self, store):
         store.put(IR_HASH, "sim", params_digest({}), "x")
         assert store.prune(10) == 0

@@ -101,6 +101,136 @@ def layered_systems(
 
 
 @st.composite
+def replicated_lane_systems(
+    draw,
+    min_lanes: int = 2,
+    max_lanes: int = 5,
+    max_latency: int = 6,
+    max_capacity: int = 3,
+) -> SystemGraph:
+    """A k-wide replicated fanout: per-lane source → worker → sink.
+
+    Every lane is an identical copy (same latencies, same channel
+    attributes, lane-local endpoints), so the strict automorphism group
+    contains the full symmetric group on lanes — the canonical "family
+    of interchangeable stages" the compositional flow produces.
+    """
+    k = draw(st.integers(min_lanes, max_lanes))
+    src_latency = draw(st.integers(1, max_latency))
+    worker_latency = draw(st.integers(1, max_latency))
+    snk_latency = draw(st.integers(1, max_latency))
+    in_latency = draw(st.integers(1, max_latency))
+    out_latency = draw(st.integers(1, max_latency))
+    capacity = draw(st.integers(0, max_capacity))
+
+    builder = SystemBuilder("lanes")
+    for i in range(k):
+        builder.source(f"src{i}", latency=src_latency)
+        builder.process(f"w{i}", latency=worker_latency)
+        builder.sink(f"snk{i}", latency=snk_latency)
+    for i in range(k):
+        builder.channel(
+            f"in{i}", f"src{i}", f"w{i}",
+            latency=in_latency, capacity=capacity,
+        )
+    for i in range(k):
+        builder.channel(
+            f"out{i}", f"w{i}", f"snk{i}",
+            latency=out_latency, capacity=capacity,
+        )
+    return builder.build()
+
+
+@st.composite
+def replicated_ring_systems(
+    draw,
+    min_stages: int = 3,
+    max_stages: int = 6,
+    max_latency: int = 4,
+    max_capacity: int = 2,
+) -> SystemGraph:
+    """A k-stage rotationally symmetric ring with per-stage testbench.
+
+    Channels are declared *grouped by role* (all ``in*``, then all
+    ``ring*`` with one pre-loaded token each, then all ``out*``): the
+    grouped declaration gives every stage the same statement order
+    relative to the rotation, so the strict automorphism group contains
+    the cyclic group Z_k.  Interleaving the declaration per stage would
+    break that (a genuine per-lane asymmetry in the lowered programs).
+    """
+    k = draw(st.integers(min_stages, max_stages))
+    stage_latency = draw(st.integers(1, max_latency))
+    tb_latency = draw(st.integers(1, max_latency))
+    ring_capacity = draw(st.integers(1, max_capacity))
+
+    builder = SystemBuilder("ring")
+    for i in range(k):
+        builder.source(f"src{i}", latency=tb_latency)
+        builder.process(f"st{i}", latency=stage_latency)
+        builder.sink(f"snk{i}", latency=tb_latency)
+    for i in range(k):
+        builder.channel(f"in{i}", f"src{i}", f"st{i}", capacity=1)
+    for i in range(k):
+        builder.channel(
+            f"ring{i}", f"st{i}", f"st{(i + 1) % k}",
+            capacity=ring_capacity, initial_tokens=1,
+        )
+    for i in range(k):
+        builder.channel(f"out{i}", f"st{i}", f"snk{i}", capacity=1)
+    return builder.build()
+
+
+@st.composite
+def replicated_pipeline_systems(
+    draw,
+    min_lanes: int = 2,
+    max_lanes: int = 4,
+    min_depth: int = 2,
+    max_depth: int = 3,
+    max_latency: int = 6,
+) -> SystemGraph:
+    """k parallel pipelines of identical stages: src_i → s_i0 → … → snk_i.
+
+    Depth-replicated *and* lane-replicated: lanes are interchangeable
+    (full S_k on lanes) while stages within a lane are pinned by their
+    depth.
+    """
+    k = draw(st.integers(min_lanes, max_lanes))
+    depth = draw(st.integers(min_depth, max_depth))
+    tb_latency = draw(st.integers(1, max_latency))
+    stage_latencies = [
+        draw(st.integers(1, max_latency)) for _ in range(depth)
+    ]
+    capacity = draw(st.integers(0, 2))
+
+    builder = SystemBuilder("pipes")
+    for i in range(k):
+        builder.source(f"src{i}", latency=tb_latency)
+        for d in range(depth):
+            builder.process(f"s{i}_{d}", latency=stage_latencies[d])
+        builder.sink(f"snk{i}", latency=tb_latency)
+    for i in range(k):
+        builder.channel(f"in{i}", f"src{i}", f"s{i}_0", capacity=capacity)
+        for d in range(depth - 1):
+            builder.channel(
+                f"c{i}_{d}", f"s{i}_{d}", f"s{i}_{d + 1}", capacity=capacity
+            )
+        builder.channel(
+            f"out{i}", f"s{i}_{depth - 1}", f"snk{i}", capacity=capacity
+        )
+    return builder.build()
+
+
+def replicated_family_systems() -> st.SearchStrategy[SystemGraph]:
+    """Any of the replicated-family shapes (lanes, rings, pipelines)."""
+    return st.one_of(
+        replicated_lane_systems(),
+        replicated_ring_systems(),
+        replicated_pipeline_systems(),
+    )
+
+
+@st.composite
 def live_tmgs(
     draw,
     max_chains: int = 3,

@@ -1,0 +1,87 @@
+"""Deterministic replicated-family fixtures for the symmetry suite."""
+
+import pytest
+
+from repro.core.builder import SystemBuilder
+
+
+def build_lanes(k=3, *, capacity=2, drift_capacity=None, prefix=""):
+    """k independent lanes: src_i -> w_i -> snk_i (full S_k on lanes).
+
+    ``drift_capacity`` overrides lane 1's input capacity (the ERM703
+    scenario); ``prefix`` renames every element (isomorphism tests).
+    """
+    b = SystemBuilder(f"{prefix}lanes{k}")
+    for i in range(k):
+        b.source(f"{prefix}src{i}", latency=1)
+        b.process(f"{prefix}w{i}", latency=2)
+        b.sink(f"{prefix}snk{i}", latency=1)
+    for i in range(k):
+        cap = drift_capacity if (drift_capacity is not None and i == 1) else capacity
+        b.channel(f"{prefix}in{i}", f"{prefix}src{i}", f"{prefix}w{i}", capacity=cap)
+    for i in range(k):
+        b.channel(f"{prefix}out{i}", f"{prefix}w{i}", f"{prefix}snk{i}", capacity=capacity)
+    return b.build()
+
+
+def build_ring(k=4, *, ring_capacity=2, ring_tokens=1):
+    """k-stage ring with per-stage testbench, channels grouped by role.
+
+    Grouped declaration (all in*, then all ring*, then all out*) keeps
+    every stage's statement order aligned with the rotation, so the
+    strict automorphism group contains Z_k.
+    """
+    b = SystemBuilder(f"ring{k}")
+    for i in range(k):
+        b.source(f"src{i}", latency=1)
+        b.process(f"st{i}", latency=2)
+        b.sink(f"snk{i}", latency=1)
+    for i in range(k):
+        b.channel(f"in{i}", f"src{i}", f"st{i}", capacity=1)
+    for i in range(k):
+        b.channel(
+            f"ring{i}", f"st{i}", f"st{(i + 1) % k}",
+            capacity=ring_capacity, initial_tokens=ring_tokens,
+        )
+    for i in range(k):
+        b.channel(f"out{i}", f"st{i}", f"snk{i}", capacity=1)
+    return b.build()
+
+
+def build_twolanes(lanes=2):
+    """Lanes whose worker has two gets and two puts from per-lane pairs.
+
+    ``all_orderings`` permutes only worker statements, so this family
+    has a nontrivial *ordering* orbit structure: within a lane, the A/B
+    source (and sink) pair is interchangeable, making many worker
+    orderings isomorphic.
+    """
+    b = SystemBuilder(f"twolanes{lanes}")
+    for i in range(lanes):
+        b.source(f"srcA{i}", latency=1)
+        b.source(f"srcB{i}", latency=1)
+        b.process(f"w{i}", latency=3)
+        b.sink(f"snkA{i}", latency=1)
+        b.sink(f"snkB{i}", latency=1)
+    for i in range(lanes):
+        b.channel(f"a{i}", f"srcA{i}", f"w{i}", capacity=2)
+        b.channel(f"b{i}", f"srcB{i}", f"w{i}", capacity=2)
+    for i in range(lanes):
+        b.channel(f"oa{i}", f"w{i}", f"snkA{i}", capacity=2)
+        b.channel(f"ob{i}", f"w{i}", f"snkB{i}", capacity=2)
+    return b.build()
+
+
+@pytest.fixture()
+def lanes3():
+    return build_lanes(3)
+
+
+@pytest.fixture()
+def ring4():
+    return build_ring(4)
+
+
+@pytest.fixture()
+def twolanes():
+    return build_twolanes(2)

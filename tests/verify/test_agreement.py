@@ -17,7 +17,27 @@ from repro.errors import BudgetExceeded
 from repro.model import deadlock_cycle
 from repro.ordering import channel_ordering, declaration_ordering
 from repro.verify import Verdict, check_deadlock, verify_ordering
-from tests.strategies import layered_systems
+from tests.strategies import (
+    layered_systems,
+    replicated_lane_systems,
+    replicated_pipeline_systems,
+    replicated_ring_systems,
+)
+
+
+def small_replicated_families():
+    """Replicated families kept small enough for repeated *plain* BFS.
+
+    The quotient side would happily take larger instances; the plain
+    reference search it is compared against would not.
+    """
+    return st.one_of(
+        replicated_lane_systems(max_lanes=3, max_latency=3, max_capacity=1),
+        replicated_ring_systems(max_stages=4, max_latency=3, max_capacity=1),
+        replicated_pipeline_systems(
+            max_lanes=2, max_depth=2, max_latency=3
+        ),
+    )
 
 
 @st.composite
@@ -57,6 +77,53 @@ def test_checker_agrees_with_structural_on_random_orderings(data, system):
         from repro.verify import replay_witness
 
         replay_witness(system, ordering, result.witness)
+
+
+@settings(max_examples=25, deadline=None)
+@given(system=layered_systems(feedback=False))
+def test_quotient_agrees_with_plain_on_layered_systems(system):
+    """Symmetry reduction never changes the verdict (mostly trivial
+    groups here — the reduction must be a sound no-op)."""
+    plain = check_deadlock(system)
+    quotient = check_deadlock(system, sym=True)
+    assert plain.conclusive and quotient.conclusive
+    assert quotient.deadlocked == plain.deadlocked
+
+
+@settings(max_examples=15, deadline=None)
+@given(system=small_replicated_families())
+def test_quotient_agrees_with_plain_on_replicated_families(system):
+    """On genuinely symmetric designs the quotient search explores a
+    subset of the states but must reach the same verdict, with and
+    without stubborn sets."""
+    for por in (True, False):
+        plain = check_deadlock(system, por=por)
+        quotient = check_deadlock(system, por=por, sym=True)
+        assert plain.conclusive and quotient.conclusive, (
+            plain.reason,
+            quotient.reason,
+        )
+        assert quotient.deadlocked == plain.deadlocked
+        if quotient.deadlocked:
+            # Witnesses found at orbit representatives pull back through
+            # the automorphism trail to concrete, replayable schedules.
+            from repro.verify import replay_witness
+
+            replay_witness(system, None, quotient.witness)
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data(), system=small_replicated_families())
+def test_quotient_witnesses_replay_on_shuffled_orderings(data, system):
+    ordering = data.draw(random_orderings(system))
+    plain = check_deadlock(system, ordering)
+    quotient = check_deadlock(system, ordering, sym=True)
+    assert plain.conclusive and quotient.conclusive
+    assert quotient.deadlocked == plain.deadlocked
+    if quotient.deadlocked:
+        from repro.verify import replay_witness
+
+        replay_witness(system, ordering, quotient.witness)
 
 
 @settings(max_examples=60, deadline=None)
