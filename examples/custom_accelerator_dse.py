@@ -11,40 +11,38 @@ Run:  python examples/custom_accelerator_dse.py
 
 from repro import (
     ImplementationLibrary,
-    SystemBuilder,
     SystemConfiguration,
     analyze_system,
     simulate,
     synthesize_pareto_set,
 )
 from repro.dse import explore, iteration_table, summarize
+from repro.dsl import Design, wire_for_latency
 from repro.hls import KnobSpace
 from repro.ordering import conservative_ordering
 
 
 def build_system():
     """A video-filter pipeline with a rate-control style feedback loop."""
-    return (
-        SystemBuilder("video_filter")
-        .source("camera", latency=4)
-        .process("demosaic", latency=40)
-        .process("denoise", latency=120)
-        .process("sharpen", latency=60)
-        .process("tonemap", latency=45)
-        .process("stats", latency=15)
-        .sink("display", latency=2)
-        .channel("raw", "camera", "demosaic", latency=16)
-        .channel("rgb", "demosaic", "denoise", latency=12)
-        .channel("clean", "denoise", "sharpen", latency=12)
-        .channel("crisp", "sharpen", "tonemap", latency=12)
-        .channel("frame", "tonemap", "display", latency=16)
-        .channel("histogram", "tonemap", "stats", latency=2)
-        # Exposure parameters computed from the previous frame's stats:
-        # a feedback loop kept live by one pre-loaded default value.
-        .channel("exposure", "stats", "demosaic", latency=1,
-                 initial_tokens=1)
-        .build()
-    )
+    design = Design("video_filter")
+    design.source("camera", latency=4)
+    design.worker("demosaic", latency=40)
+    design.worker("denoise", latency=120)
+    design.worker("sharpen", latency=60)
+    design.worker("tonemap", latency=45)
+    design.worker("stats", latency=15)
+    design.sink("display", latency=2)
+    design.connect("raw", "camera", "demosaic", wire=wire_for_latency(16))
+    design.connect("rgb", "demosaic", "denoise", wire=wire_for_latency(12))
+    design.connect("clean", "denoise", "sharpen", wire=wire_for_latency(12))
+    design.connect("crisp", "sharpen", "tonemap", wire=wire_for_latency(12))
+    design.connect("frame", "tonemap", "display", wire=wire_for_latency(16))
+    design.connect("histogram", "tonemap", "stats", wire=wire_for_latency(2))
+    # Exposure parameters computed from the previous frame's stats:
+    # a feedback loop kept live by one pre-loaded default value.
+    design.connect("exposure", "stats", "demosaic",
+                   wire=wire_for_latency(1, tokens=1))
+    return design.build()
 
 
 def characterize(system):

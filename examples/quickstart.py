@@ -9,36 +9,34 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    SystemBuilder,
     analyze_system,
     channel_ordering,
     declaration_ordering,
     simulate,
 )
+from repro.dsl import Design, wire_for_latency
 
 
 def build_accelerator():
     """src → split → {fir (slow), fft (slower)} → merge → snk."""
-    return (
-        SystemBuilder("accelerator")
-        .source("src", latency=1)
-        .process("split", latency=2)
-        .process("fir", latency=6)
-        .process("fft", latency=14)
-        .process("merge", latency=3)
-        .sink("snk", latency=1)
-        .channel("samples", "src", "split", latency=2)
-        # Declaration order encodes two natural-looking mistakes: the fast
-        # FIR branch is fed first, and the merge waits for the slow FFT
-        # result before draining the FIR -- which parks the FIR (and the
-        # splitter behind it) on blocked rendezvous every iteration.
-        .channel("to_fir", "split", "fir", latency=1)
-        .channel("to_fft", "split", "fft", latency=2)
-        .channel("from_fft", "fft", "merge", latency=2)
-        .channel("from_fir", "fir", "merge", latency=1)
-        .channel("out", "merge", "snk", latency=1)
-        .build()
-    )
+    design = Design("accelerator")
+    design.source("src", latency=1)
+    design.worker("split", latency=2)
+    design.worker("fir", latency=6)
+    design.worker("fft", latency=14)
+    design.worker("merge", latency=3)
+    design.sink("snk", latency=1)
+    design.connect("samples", "src", "split", wire=wire_for_latency(2))
+    # Declaration order encodes two natural-looking mistakes: the fast
+    # FIR branch is fed first, and the merge waits for the slow FFT
+    # result before draining the FIR -- which parks the FIR (and the
+    # splitter behind it) on blocked rendezvous every iteration.
+    design.connect("to_fir", "split", "fir", wire=wire_for_latency(1))
+    design.connect("to_fft", "split", "fft", wire=wire_for_latency(2))
+    design.connect("from_fft", "fft", "merge", wire=wire_for_latency(2))
+    design.connect("from_fir", "fir", "merge", wire=wire_for_latency(1))
+    design.connect("out", "merge", "snk", wire=wire_for_latency(1))
+    return design.build()
 
 
 def main() -> None:

@@ -159,6 +159,15 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         bench="test_bench_sym.py",
     ),
     Experiment(
+        id="GEN",
+        artifact="extension: compositional DSL + generated workload suite",
+        claim="five seeded families regenerate bit-identically and pass "
+        "lint/order/verify/analyze; replication reaches ERM701 declared, "
+        "not rediscovered; declared families feed the explorer's orbit "
+        "dedup (>= 1 verification served from the orbit per sweep)",
+        bench="test_bench_workloads.py",
+    ),
+    Experiment(
         id="SIMD",
         artifact="extension: batched vectorized simulation",
         claim="64 DSE candidates in lock-step over one compiled IR "

@@ -669,6 +669,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import system_to_dict
+    from repro.workloads import FAMILIES, generate
+
+    if args.list_families:
+        print(f"{'family':<16} {'default size':>12}  size meaning")
+        for spec in FAMILIES.values():
+            print(f"{spec.family:<16} {spec.default_size:>12}  {spec.size_help}")
+        return 0
+    if args.family is None:
+        print("error: a family name is required (or use --list)",
+              file=sys.stderr)
+        return 2
+    workload = generate(args.family, seed=args.seed, size=args.size)
+    text = json.dumps(system_to_dict(workload.system), indent=2,
+                      sort_keys=True) + "\n"
+    if args.output:
+        _write_text(text, args.output, "system")
+        system = workload.system
+        families = ", ".join(
+            f.name for f in system.declared_families) or "(none)"
+        print(f"{workload.name}: {len(system.process_names)} processes, "
+              f"{len(system.channel_names)} channels, "
+              f"declared families: {families}")
+        print(f"written to {args.output}")
+        print(f"  {workload.description}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     system = motivating_example()
     print(f"motivating example: {len(system.workers())} processes, "
@@ -1080,6 +1113,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable output: metrics snapshot plus "
                         "one record per DSE iteration")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "gen",
+        help="generate a seeded workload design as system JSON "
+             "(families: ofdm-rx, rate-converter, noc-torus, butterfly, "
+             "bursty-soc; see docs/DSL.md)",
+    )
+    p.add_argument("family", nargs="?",
+                   help="workload family name (see --list)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="generator seed; (family, seed, size) regenerates "
+                        "the same design bit-for-bit")
+    p.add_argument("--size", type=int, default=None,
+                   help="family-specific scale knob (default per family; "
+                        "see --list)")
+    p.add_argument("--list", action="store_true", dest="list_families",
+                   help="list the registered families and their size "
+                        "semantics")
+    p.add_argument("-o", "--output",
+                   help="write the system JSON here instead of stdout")
+    p.set_defaults(func=_cmd_gen)
 
     p = sub.add_parser("demo", help="the paper's motivating example")
     p.set_defaults(func=_cmd_demo)

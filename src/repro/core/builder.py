@@ -22,6 +22,7 @@ from typing import Mapping
 
 from repro.core.system import Channel, Process, ProcessKind, SystemGraph
 from repro.core.validation import validate_system
+from repro.errors import ValidationError
 
 
 class SystemBuilder:
@@ -60,7 +61,20 @@ class SystemBuilder:
         capacity: int = 0,
         initial_tokens: int = 0,
     ) -> "SystemBuilder":
-        """Add a point-to-point channel from ``producer`` to ``consumer``."""
+        """Add a point-to-point channel from ``producer`` to ``consumer``.
+
+        Fails **at this call site** when either endpoint has not been
+        declared yet, naming the offending role — wiring against a
+        process that does not exist is a construction bug best reported
+        where the typo is, not later at :meth:`build`.
+        """
+        for role, endpoint in (("producer", producer), ("consumer", consumer)):
+            if not self._system.has_process(endpoint):
+                raise ValidationError(
+                    f"channel {name!r}: {role} {endpoint!r} is not a "
+                    "declared process; declare it with .process()/"
+                    ".source()/.sink() before wiring channels to it"
+                )
         self._system.add_channel(
             Channel(
                 name,

@@ -12,14 +12,44 @@ Two families matter for the reproduction:
   random layered systems "with characteristics similar to those of the
   MPEG-2, including the presence of feedback loops and reconvergent
   paths", scaling to 10,000 processes and 15,000 channels.
+
+Every generator builds through the composition layer
+(:class:`repro.dsl.design.Design`), using its node-level ``connect``
+escape hatch so the historical process/channel names and declaration
+orders — and therefore every pinned ``structural_hash`` — are preserved
+bit for bit.  Channel latencies are expressed as derived
+:class:`~repro.dsl.wire.Wire` metadata
+(:func:`~repro.dsl.wire.wire_for_latency`), and generators that
+replicate structure (:func:`fork_join`) declare the replication as a
+:class:`~repro.core.families.DeclaredFamily` for the symmetry layer to
+verify and spend.
 """
 
 from __future__ import annotations
 
 import random
+from typing import TYPE_CHECKING
 
-from repro.core.builder import SystemBuilder
 from repro.core.system import ChannelOrdering, SystemGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dsl.design import Design
+    from repro.dsl.wire import Wire
+
+
+def _design(name: str) -> "Design":
+    # Deferred: repro.core's package __init__ imports this module, and the
+    # composition layer imports repro.core submodules — binding at call
+    # time keeps both package initializations cycle-free.
+    from repro.dsl.design import Design
+
+    return Design(name)
+
+
+def _latency_wire(latency: int, initial_tokens: int = 0) -> "Wire":
+    from repro.dsl.wire import wire_for_latency
+
+    return wire_for_latency(latency, tokens=initial_tokens)
 
 
 # ---------------------------------------------------------------------------
@@ -58,14 +88,14 @@ def motivating_example() -> SystemGraph:
     declaration ordering has P2 writing (b, d, f) — the order that, combined
     with P6 reading (g, d, e), deadlocks.
     """
-    builder = SystemBuilder("motivating")
-    builder.source("Psrc", latency=MOTIVATING_PROCESS_LATENCIES["Psrc"])
+    design = _design("motivating")
+    design.source("Psrc", latency=MOTIVATING_PROCESS_LATENCIES["Psrc"])
     for name in ("P2", "P3", "P4", "P5", "P6"):
-        builder.process(name, latency=MOTIVATING_PROCESS_LATENCIES[name])
-    builder.sink("Psnk", latency=MOTIVATING_PROCESS_LATENCIES["Psnk"])
+        design.worker(name, latency=MOTIVATING_PROCESS_LATENCIES[name])
+    design.sink("Psnk", latency=MOTIVATING_PROCESS_LATENCIES["Psnk"])
     for cname, (producer, consumer, latency) in MOTIVATING_CHANNELS.items():
-        builder.channel(cname, producer, consumer, latency=latency)
-    return builder.build()
+        design.connect(cname, producer, consumer, wire=_latency_wire(latency))
+    return design.build()
 
 
 def motivating_deadlock_ordering(system: SystemGraph) -> ChannelOrdering:
@@ -121,15 +151,17 @@ def pipeline(
     """A linear pipeline: source → stage0 → … → stage(n-1) → sink."""
     if n_stages < 1:
         raise ValueError("pipeline needs at least one stage")
-    builder = SystemBuilder(f"pipeline{n_stages}")
-    builder.source("src")
+    design = _design(f"pipeline{n_stages}")
+    design.source("src")
     for i in range(n_stages):
-        builder.process(f"stage{i}", latency=process_latency)
-    builder.sink("snk")
+        design.worker(f"stage{i}", latency=process_latency)
+    design.sink("snk")
     names = ["src"] + [f"stage{i}" for i in range(n_stages)] + ["snk"]
     for i, (producer, consumer) in enumerate(zip(names, names[1:])):
-        builder.channel(f"c{i}", producer, consumer, latency=channel_latency)
-    return builder.build()
+        design.connect(
+            f"c{i}", producer, consumer, wire=_latency_wire(channel_latency)
+        )
+    return design.build()
 
 
 def fork_join(
@@ -141,25 +173,37 @@ def fork_join(
 
     The classic shape on which statement order matters: the join's get
     order should prioritize the branch whose path is longest.
+
+    The branches are declared as an interchangeable family.  The shared
+    fork and join serialize their statement orders, so the family holds
+    up to statement reordering (the ERM702 equivalence) — which is
+    exactly the claim ERM701 reports and the symmetry layer verifies.
     """
     if n_branches < 2:
         raise ValueError("fork/join needs at least two branches")
     latencies = branch_latencies or tuple(2 + i for i in range(n_branches))
     if len(latencies) != n_branches:
         raise ValueError("one latency per branch required")
-    builder = SystemBuilder(f"forkjoin{n_branches}")
-    builder.source("src")
-    builder.process("fork", latency=1)
+    design = _design(f"forkjoin{n_branches}")
+    design.source("src")
+    design.worker("fork", latency=1)
     for i, latency in enumerate(latencies):
-        builder.process(f"branch{i}", latency=latency)
-    builder.process("join", latency=1)
-    builder.sink("snk")
-    builder.channel("c_in", "src", "fork", latency=channel_latency)
+        design.worker(f"branch{i}", latency=latency)
+    design.worker("join", latency=1)
+    design.sink("snk")
+    hop = _latency_wire(channel_latency)
+    design.connect("c_in", "src", "fork", wire=hop)
     for i in range(n_branches):
-        builder.channel(f"c_up{i}", "fork", f"branch{i}", latency=channel_latency)
-        builder.channel(f"c_dn{i}", f"branch{i}", "join", latency=channel_latency)
-    builder.channel("c_out", "join", "snk", latency=channel_latency)
-    return builder.build()
+        design.connect(f"c_up{i}", "fork", f"branch{i}", wire=hop)
+        design.connect(f"c_dn{i}", f"branch{i}", "join", wire=hop)
+    design.connect("c_out", "join", "snk", wire=hop)
+    design.declare_family(
+        "branches",
+        "interchangeable",
+        [[f"branch{i}"] for i in range(n_branches)],
+        [[f"c_up{i}", f"c_dn{i}"] for i in range(n_branches)],
+    )
+    return design.build()
 
 
 def ring_soc(
@@ -173,27 +217,33 @@ def ring_soc(
     The minimal feedback-loop topology: src → w0 → w1 → … → w(n-1) → w0,
     with the closing channel carrying ``initial_tokens`` (it must, or no
     ordering keeps the ring live).  The sink taps the last worker.
+
+    No family is declared: the single inject/drain testbench pins the
+    ring (rotations are not automorphisms of this closed system) — for a
+    rotation-symmetric ring use :func:`repro.dsl.ring` with per-part
+    testbenches.
     """
     if n_stages < 2:
         raise ValueError("a ring needs at least two workers")
     if initial_tokens < 1:
         raise ValueError("the closing channel needs at least one token")
-    builder = SystemBuilder(f"ring{n_stages}")
-    builder.source("src")
+    design = _design(f"ring{n_stages}")
+    design.source("src")
     for i in range(n_stages):
-        builder.process(f"w{i}", latency=process_latency)
-    builder.sink("snk")
-    builder.channel("inject", "src", "w0", latency=channel_latency)
+        design.worker(f"w{i}", latency=process_latency)
+    design.sink("snk")
+    hop = _latency_wire(channel_latency)
+    design.connect("inject", "src", "w0", wire=hop)
     for i in range(n_stages - 1):
-        builder.channel(f"hop{i}", f"w{i}", f"w{i + 1}",
-                        latency=channel_latency)
-    builder.channel(
-        "close", f"w{n_stages - 1}", "w0", latency=channel_latency,
-        initial_tokens=initial_tokens,
+        design.connect(f"hop{i}", f"w{i}", f"w{i + 1}", wire=hop)
+    design.connect(
+        "close",
+        f"w{n_stages - 1}",
+        "w0",
+        wire=_latency_wire(channel_latency, initial_tokens=initial_tokens),
     )
-    builder.channel("drain", f"w{n_stages - 1}", "snk",
-                    latency=channel_latency)
-    return builder.build()
+    design.connect("drain", f"w{n_stages - 1}", "snk", wire=hop)
+    return design.build()
 
 
 def mesh_soc(
@@ -209,31 +259,38 @@ def mesh_soc(
     the south-east corner.  Heavily reconvergent — every interior node
     joins two paths — which makes it a good stress case for the ordering
     algorithm.
+
+    No family is declared: the corner entry/exit pins every node (even
+    the transpose fails exactness — the interleaved east-then-south put
+    order gives the grid a chirality).  For a translation-symmetric
+    fabric use :func:`repro.dsl.mesh` with ``wrap=True``.
     """
     if rows < 1 or cols < 1:
         raise ValueError("mesh needs at least one row and one column")
     if rows * cols < 2:
         raise ValueError("mesh needs at least two workers")
-    builder = SystemBuilder(f"mesh{rows}x{cols}")
-    builder.source("src")
+    design = _design(f"mesh{rows}x{cols}")
+    design.source("src")
     for r in range(rows):
         for c in range(cols):
-            builder.process(f"n{r}_{c}", latency=process_latency)
-    builder.sink("snk")
-    builder.channel("inject", "src", "n0_0", latency=channel_latency)
+            design.worker(f"n{r}_{c}", latency=process_latency)
+    design.sink("snk")
+    hop = _latency_wire(channel_latency)
+    design.connect("inject", "src", "n0_0", wire=hop)
     for r in range(rows):
         for c in range(cols):
             if c + 1 < cols:
-                builder.channel(f"e{r}_{c}", f"n{r}_{c}", f"n{r}_{c + 1}",
-                                latency=channel_latency)
+                design.connect(
+                    f"e{r}_{c}", f"n{r}_{c}", f"n{r}_{c + 1}", wire=hop
+                )
             if r + 1 < rows:
-                builder.channel(f"s{r}_{c}", f"n{r}_{c}", f"n{r + 1}_{c}",
-                                latency=channel_latency)
-    builder.channel("drain", f"n{rows - 1}_{cols - 1}", "snk",
-                    latency=channel_latency)
+                design.connect(
+                    f"s{r}_{c}", f"n{r}_{c}", f"n{r + 1}_{c}", wire=hop
+                )
+    design.connect("drain", f"n{rows - 1}_{cols - 1}", "snk", wire=hop)
     # Edge nodes with no outgoing mesh link other than toward the sink
     # corner already drain through the mesh; nothing else to add.
-    return builder.build()
+    return design.build()
 
 
 # ---------------------------------------------------------------------------
@@ -250,6 +307,7 @@ def synthetic_soc(
     min_channel_latency: int = 1,
     max_channel_latency: int = 16,
     layer_width: int | None = None,
+    rng: random.Random | None = None,
 ) -> SystemGraph:
     """Generate a random SoC with reconvergent paths and feedback loops.
 
@@ -278,10 +336,17 @@ def synthetic_soc(
         feedback_fraction: Fraction of the channel budget realized as
             feedback channels.
         layer_width: Target workers per layer (default ``max(2, sqrt(n))``).
+        rng: Explicit random stream to draw from.  When given it is the
+            *only* randomness source (``seed`` is ignored), so callers
+            composing several generators can thread one seeded
+            ``random.Random`` through all of them and stay reproducible
+            end to end.  Every draw goes through this single stream —
+            there is no hidden module-global randomness.
     """
     if n_processes < 2:
         raise ValueError("synthetic SoC needs at least two workers")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     budget = n_channels if n_channels is not None else int(round(1.5 * n_processes))
     min_budget = n_processes - 1  # the layered skeleton needs this many
     budget = max(budget, min_budget)
@@ -296,14 +361,14 @@ def synthetic_soc(
         index += take
         remaining -= take
 
-    builder = SystemBuilder(f"soc{n_processes}x{budget}")
-    builder.source("Psrc", latency=1)
+    design = _design(f"soc{n_processes}x{budget}")
+    design.source("Psrc", latency=1)
     for layer in layers:
         for name in layer:
-            builder.process(
+            design.worker(
                 name, latency=rng.randint(min_process_latency, max_process_latency)
             )
-    builder.sink("Psnk", latency=1)
+    design.sink("Psnk", latency=1)
 
     def channel_latency() -> int:
         return rng.randint(min_channel_latency, max_channel_latency)
@@ -316,12 +381,11 @@ def synthetic_soc(
 
     def add(producer: str, consumer: str, initial_tokens: int = 0) -> None:
         nonlocal counter
-        builder.channel(
+        design.connect(
             f"ch{counter}",
             producer,
             consumer,
-            latency=channel_latency(),
-            initial_tokens=initial_tokens,
+            wire=_latency_wire(channel_latency(), initial_tokens=initial_tokens),
         )
         counter += 1
 
@@ -336,9 +400,7 @@ def synthetic_soc(
     flat = [(depth, name) for depth, layer in enumerate(layers) for name in layer]
     attempts = 0
     added = 0
-    existing_pairs = {
-        (c.producer, c.consumer) for c in builder._system.channels
-    }
+    existing_pairs = set(design.edge_endpoints())
     while added < n_extra and attempts < 20 * n_extra + 100:
         attempts += 1
         (d1, u), (d2, v) = rng.sample(flat, 2)
@@ -370,21 +432,38 @@ def synthetic_soc(
     # 4. Testbench links: the source feeds every layer-0 worker; every
     #    worker that cannot reach the sink (no outputs, or outputs only on
     #    feedback channels into an undrained cluster) drains into it.
-    system = builder._system
     for name in layers[0]:
         add("Psrc", name)
     for depth, name in flat:
-        if not system.output_channels(name):
+        if not design.output_edges(name):
             add(name, "Psnk")
-    for name in _not_coreachable(system, "Psnk"):
+    for name in _design_not_coreachable(design, "Psnk", flat):
         add(name, "Psnk")
     # Workers that ended up with no input (possible only in layer 0 if the
     # source loop above missed them — it cannot, but keep the guard cheap):
     for depth, name in flat:
-        if not system.input_channels(name):
+        if not design.input_edges(name):
             add("Psrc", name)
 
-    return builder.build()
+    return design.build()
+
+
+def _design_not_coreachable(
+    design: "Design", sink: str, flat: list[tuple[int, str]]
+) -> list[str]:
+    """Worker names of ``flat`` with no directed path to ``sink`` yet."""
+    predecessors: dict[str, list[str]] = {}
+    for producer, consumer in design.edge_endpoints():
+        predecessors.setdefault(consumer, []).append(producer)
+    reached = {sink}
+    frontier = [sink]
+    while frontier:
+        current = frontier.pop()
+        for producer in predecessors.get(current, ()):
+            if producer not in reached:
+                reached.add(producer)
+                frontier.append(producer)
+    return [name for _, name in flat if name not in reached]
 
 
 def _not_coreachable(system: SystemGraph, sink: str) -> list[str]:

@@ -19,6 +19,7 @@ import json
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.core.families import family_from_dict
 from repro.core.system import (
     Channel,
     ChannelOrdering,
@@ -37,8 +38,14 @@ _CHANNEL_FIELDS = _CHANNEL_REQUIRED | {"latency", "capacity", "initial_tokens"}
 
 
 def system_to_dict(system: SystemGraph) -> dict[str, Any]:
-    """Serialize a system to a JSON-compatible dictionary."""
-    return {
+    """Serialize a system to a JSON-compatible dictionary.
+
+    The optional ``families`` key carries the declared replication
+    structure (:mod:`repro.core.families`); it is emitted only when
+    non-empty, so documents for systems without declared families are
+    byte-identical to the pre-families format.
+    """
+    document: dict[str, Any] = {
         "format_version": FORMAT_VERSION,
         "name": system.name,
         "processes": [
@@ -61,6 +68,11 @@ def system_to_dict(system: SystemGraph) -> dict[str, Any]:
             for c in system.channels
         ],
     }
+    if system.declared_families:
+        document["families"] = [
+            family.to_dict() for family in system.declared_families
+        ]
+    return document
 
 
 def _check_fields(
@@ -109,6 +121,8 @@ def system_from_dict(data: dict[str, Any]) -> SystemGraph:
             raise ValidationError(f"system document is missing {key!r}")
         if not isinstance(data[key], list):
             raise ValidationError(f"system {key!r} must be a list")
+    if "families" in data and not isinstance(data["families"], list):
+        raise ValidationError("system 'families' must be a list")
     system = SystemGraph(data.get("name", "system"))
     for p in data["processes"]:
         p = _check_fields(p, _PROCESS_REQUIRED, _PROCESS_FIELDS, "process")
@@ -132,6 +146,10 @@ def system_from_dict(data: dict[str, Any]) -> SystemGraph:
                 capacity=int(c.get("capacity", 0)),
                 initial_tokens=int(c.get("initial_tokens", 0)),
             )
+        )
+    if data.get("families"):
+        system.declare_families(
+            family_from_dict(entry) for entry in data["families"]
         )
     return system
 

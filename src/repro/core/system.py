@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro.core.families import DeclaredFamily
 from repro.errors import ValidationError
 
 
@@ -170,6 +171,10 @@ class SystemGraph:
         # Declaration-order port lists.
         self._inputs: dict[str, list[str]] = {}
         self._outputs: dict[str, list[str]] = {}
+        # Replication structure declared by the construction layer
+        # (:mod:`repro.dsl`).  Advisory metadata: not part of the
+        # structural hash, re-verified before every use (repro.sym).
+        self._families: tuple[DeclaredFamily, ...] = ()
 
     # ------------------------------------------------------------------
     # Construction
@@ -263,7 +268,53 @@ class SystemGraph:
         clone._channels = dict(self._channels)
         clone._inputs = {k: list(v) for k, v in self._inputs.items()}
         clone._outputs = {k: list(v) for k, v in self._outputs.items()}
+        clone._families = self._families
         return clone
+
+    # ------------------------------------------------------------------
+    # Declared replication structure
+    # ------------------------------------------------------------------
+
+    @property
+    def declared_families(self) -> tuple[DeclaredFamily, ...]:
+        """Replication families declared by the construction layer.
+
+        Advisory metadata carried alongside the topology: it survives
+        :meth:`copy` (hence :meth:`with_channel_capacities` and
+        :meth:`with_process_latencies`, so DSE candidates keep their
+        family structure) but takes no part in the structural hash, and
+        every consumer re-verifies the induced generators against the
+        lowered program before trusting them (:mod:`repro.sym.declared`).
+        """
+        return self._families
+
+    def declare_families(
+        self, families: Iterable[DeclaredFamily]
+    ) -> "SystemGraph":
+        """Replace the declared replication families (returns ``self``).
+
+        Every referenced process and channel must exist — a family
+        naming a missing member is a construction bug worth failing at
+        the declaration site, not a claim to be silently dropped later.
+        """
+        checked: list[DeclaredFamily] = []
+        for family in families:
+            process_members, channel_members = family.members()
+            for member in sorted(process_members):
+                if member not in self._processes:
+                    raise ValidationError(
+                        f"family {family.name!r} references unknown "
+                        f"process {member!r}"
+                    )
+            for member in sorted(channel_members):
+                if member not in self._channels:
+                    raise ValidationError(
+                        f"family {family.name!r} references unknown "
+                        f"channel {member!r}"
+                    )
+            checked.append(family)
+        self._families = tuple(checked)
+        return self
 
     # ------------------------------------------------------------------
     # Accessors

@@ -604,10 +604,16 @@ class Explorer:
         ``None`` when the labeling hit its node budget — an incomplete
         canonical form must not serve as a dedup key (isomorphic inputs
         could disagree), so such candidates are verified concretely.
+        Families declared by the composition layer seed the labeling, so
+        a DSL-built replicated fabric pays table verification instead of
+        a rediscovery descent.
         """
-        from repro.sym import analyze_symmetry
+        from repro.sym import analyze_symmetry, declared_seeds
 
-        analysis = analyze_symmetry(self._lowered(config))
+        ir = self._lowered(config)
+        families = config.system.declared_families
+        seeds = declared_seeds(ir, families) if families else ()
+        analysis = analyze_symmetry(ir, seeds=seeds)
         return analysis.canonical_hash if analysis.complete else None
 
     @staticmethod

@@ -1,0 +1,525 @@
+"""The combinator catalog: typed composition of open designs.
+
+Every combinator consumes :class:`~repro.dsl.design.Design` values and
+returns a new (merged) one; none of them touches ``SystemGraph``
+directly — elaboration happens once, at
+:meth:`~repro.dsl.design.Design.build`.  See ``docs/DSL.md`` for the
+worked catalog; in brief:
+
+* :func:`stage` / :func:`source_stage` / :func:`sink_stage` —
+  parameterized single-node factories with per-port
+  :class:`~repro.dsl.wire.Wire` metadata;
+* :func:`pipe` — positional output→input chaining;
+* :func:`parallel` / :func:`replicate` — side-by-side lanes, declaring
+  an *interchangeable* family when the lanes structurally align;
+* :func:`fanout` / :func:`join` — a head spread over lanes / lanes
+  gathered into a tail;
+* :func:`reduce_tree` — arity-``k`` reduction of many producers;
+* :func:`ring` — a cyclic family closed by pre-loaded hop channels;
+* :func:`mesh` — an open NoC grid, or (``wrap=True``) a torus fabric
+  with the two cyclic translation families declared;
+* :func:`butterfly` — a ``2^m``-lane FFT-style interconnect with its
+  ``m`` bit-flip families declared;
+* :func:`testbenched` — closes every dangling port with testbench
+  processes, keeping declared families intact (per-port mode) or
+  sharing one source/sink (``shared=True``).
+
+Designs are consumed linearly: never pass one ``Design`` object to two
+compositions — build each replica fresh via its factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.dsl.design import Design, Port
+from repro.dsl.wire import Wire
+from repro.errors import CompositionError
+
+#: Port specification: a count (labels ``in``/``in0..``), or explicit
+#: labels, optionally each with its own :class:`Wire`.
+PortsSpec = int | Sequence[str | tuple[str, Wire]]
+
+
+def _ports(
+    spec: PortsSpec, base: str, wire: Wire
+) -> list[tuple[str, Wire]]:
+    if isinstance(spec, int):
+        if spec < 0:
+            raise CompositionError(f"port count must be >= 0, got {spec}")
+        if spec == 0:
+            return []
+        if spec == 1:
+            return [(base, wire)]
+        return [(f"{base}{i}", wire) for i in range(spec)]
+    if isinstance(spec, str):
+        return [(spec, wire)]
+    out: list[tuple[str, Wire]] = []
+    for entry in spec:
+        if isinstance(entry, str):
+            out.append((entry, wire))
+        else:
+            label, entry_wire = entry
+            out.append((label, entry_wire))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Stage factories
+# ----------------------------------------------------------------------
+
+
+def stage(
+    name: str,
+    *,
+    latency: int = 1,
+    inputs: PortsSpec = 1,
+    outputs: PortsSpec = 1,
+    wire: Wire = Wire(),
+) -> Design:
+    """One worker node with typed dangling ports.
+
+    ``wire`` is the default port metadata; per-port overrides go through
+    explicit ``(label, Wire)`` entries in ``inputs``/``outputs``.
+    """
+    design = Design(name)
+    design.worker(name, latency=latency)
+    for label, port_wire in _ports(inputs, "in", wire):
+        design.input(name, label, port_wire)
+    for label, port_wire in _ports(outputs, "out", wire):
+        design.output(name, label, port_wire)
+    return design
+
+
+def source_stage(
+    name: str,
+    *,
+    latency: int = 1,
+    outputs: PortsSpec = 1,
+    wire: Wire = Wire(),
+) -> Design:
+    """A testbench source node with typed output ports."""
+    design = Design(name)
+    design.source(name, latency=latency)
+    for label, port_wire in _ports(outputs, "out", wire):
+        design.output(name, label, port_wire)
+    return design
+
+
+def sink_stage(
+    name: str,
+    *,
+    latency: int = 1,
+    inputs: PortsSpec = 1,
+    wire: Wire = Wire(),
+) -> Design:
+    """A testbench sink node with typed input ports."""
+    design = Design(name)
+    design.sink(name, latency=latency)
+    for label, port_wire in _ports(inputs, "in", wire):
+        design.input(name, label, port_wire)
+    return design
+
+
+# ----------------------------------------------------------------------
+# Sequential and side-by-side composition
+# ----------------------------------------------------------------------
+
+
+def pipe(*parts: Design) -> Design:
+    """Chain designs: each part's outputs feed the next part's inputs.
+
+    Connection is positional (``i``-th output → ``i``-th input) and the
+    arities must match exactly; each connection type-checks the two port
+    wires (:meth:`Wire.compatible`).  Channel names follow the producer
+    port (``node.label``).
+    """
+    if not parts:
+        raise CompositionError("pipe() needs at least one design")
+    acc = parts[0]
+    for part in parts[1:]:
+        upstream = list(acc.outputs)
+        downstream = list(part.inputs)
+        if len(upstream) != len(downstream):
+            raise CompositionError(
+                f"pipe: {acc.name!r} exposes {len(upstream)} output(s) but "
+                f"{part.name!r} expects {len(downstream)} input(s)"
+            )
+        acc.merge(part)
+        for out_port, in_port in zip(upstream, downstream):
+            acc.wire_ports(out_port, in_port)
+    return acc
+
+
+def parallel(
+    *parts: Design,
+    family: str | None = None,
+    kind: str = "interchangeable",
+) -> Design:
+    """Compose designs side by side (inputs/outputs concatenate in order).
+
+    When the parts structurally align (equal node, edge, and port
+    counts) the replica blocks are declared as a family of ``kind`` —
+    the claim later verified and spent by :mod:`repro.sym`.  Pass
+    ``family`` to name the claim (and to *require* alignment); with the
+    default ``family=None`` a misaligned composition simply declares
+    nothing.
+    """
+    if not parts:
+        raise CompositionError("parallel() needs at least one design")
+    shapes = {
+        (
+            len(part.node_names),
+            len(part.edge_names),
+            len(part.inputs),
+            len(part.outputs),
+        )
+        for part in parts
+    }
+    aligned = len(parts) >= 2 and len(shapes) == 1
+    if family is not None and not aligned:
+        raise CompositionError(
+            f"parallel: family {family!r} requested but the "
+            f"{len(parts)} parts do not structurally align "
+            f"(node/edge/port counts {sorted(shapes)})"
+        )
+    process_blocks = [list(part.node_names) for part in parts]
+    channel_blocks = [list(part.edge_names) for part in parts]
+    acc = parts[0]
+    for part in parts[1:]:
+        acc.merge(part)
+    if aligned:
+        acc.declare_family(
+            family if family is not None else f"lanes:{acc.name}",
+            kind,
+            process_blocks,
+            channel_blocks,
+        )
+    return acc
+
+
+def replicate(
+    count: int,
+    factory: Callable[[int], Design],
+    *,
+    family: str | None = None,
+) -> Design:
+    """``parallel`` over ``count`` fresh instances of ``factory(i)``."""
+    if count < 1:
+        raise CompositionError(f"replicate: count must be >= 1, got {count}")
+    return parallel(*(factory(i) for i in range(count)), family=family)
+
+
+def fanout(head: Design, *lanes: Design, family: str | None = None) -> Design:
+    """Spread ``head``'s outputs over ``lanes`` (one output per lane).
+
+    Declares the lane family; note a *shared* head serializes its put
+    statements, so the family verifies up to statement reordering (the
+    ERM702 equivalence) rather than exactly — per-lane testbenches
+    (:func:`replicate` + :func:`testbenched`) keep lane symmetry exact.
+    """
+    if not lanes:
+        raise CompositionError("fanout() needs at least one lane")
+    return pipe(head, parallel(*lanes, family=family))
+
+
+def join(*lanes: Design, tail: Design, family: str | None = None) -> Design:
+    """Gather ``lanes``' outputs into ``tail`` (one input per lane)."""
+    if not lanes:
+        raise CompositionError("join() needs at least one lane")
+    return pipe(parallel(*lanes, family=family), tail)
+
+
+def reduce_tree(
+    leaves: Sequence[Design],
+    factory: Callable[[int, int, int], Design],
+    *,
+    arity: int = 2,
+) -> Design:
+    """Reduce many single-output designs through a tree of combiners.
+
+    ``factory(level, index, fan_in)`` must return a design with exactly
+    ``fan_in`` inputs and one output (the combiner at position ``index``
+    of tree level ``level``).  A trailing chunk smaller than ``arity``
+    gets a combiner of its actual fan-in; a singleton chunk passes
+    through unchanged.
+    """
+    if not leaves:
+        raise CompositionError("reduce_tree() needs at least one leaf")
+    if arity < 2:
+        raise CompositionError(
+            f"reduce_tree: arity must be >= 2, got {arity}"
+        )
+    current = list(leaves)
+    level = 0
+    while len(current) > 1:
+        next_level: list[Design] = []
+        for index, start in enumerate(range(0, len(current), arity)):
+            chunk = current[start : start + arity]
+            if len(chunk) == 1:
+                next_level.append(chunk[0])
+                continue
+            combiner = factory(level, index, len(chunk))
+            next_level.append(pipe(parallel(*chunk), combiner))
+        current = next_level
+        level += 1
+    return current[0]
+
+
+# ----------------------------------------------------------------------
+# Replicated fabrics
+# ----------------------------------------------------------------------
+
+
+def ring(
+    parts: Sequence[Design], *, tokens: int = 1, family: str | None = None
+) -> Design:
+    """Close ``parts`` into a ring: each part's first output feeds the
+    next part's first input, wrapping around.
+
+    Every hop channel carries ``tokens`` pre-loaded transactions —
+    uniformly, because a rendezvous ring with no tokens can never make
+    progress, and a ring with tokens on only one hop is not rotation
+    symmetric.  Declares the cyclic (``Z_k``) family.
+    """
+    if len(parts) < 2:
+        raise CompositionError("ring() needs at least two parts")
+    if tokens < 1:
+        raise CompositionError(
+            "ring: hop channels need at least one pre-loaded token "
+            "(a token-free rendezvous ring deadlocks under every ordering)"
+        )
+    ring_outs: list[Port] = []
+    ring_ins: list[Port] = []
+    for part in parts:
+        if not part.outputs or not part.inputs:
+            raise CompositionError(
+                f"ring: part {part.name!r} must expose at least one input "
+                "and one output (the first of each closes the ring)"
+            )
+        ring_outs.append(part.outputs[0])
+        ring_ins.append(part.inputs[0])
+    acc = parallel(*parts, family=family, kind="cyclic")
+    count = len(parts)
+    for i in range(count):
+        out_port = ring_outs[i]
+        in_port = ring_ins[(i + 1) % count]
+        hop_wire = out_port.wire.merged(in_port.wire)
+        acc.wire_ports(
+            out_port,
+            in_port,
+            wire=hop_wire.preloaded(max(tokens, hop_wire.tokens)),
+        )
+    return acc
+
+
+def mesh(
+    rows: int,
+    cols: int,
+    *,
+    latency: int = 1,
+    wire: Wire = Wire(),
+    wrap: bool = False,
+    tokens: int = 1,
+    name: str | None = None,
+) -> Design:
+    """A ``rows × cols`` grid of workers with east/south channels.
+
+    ``wrap=False`` (default) is the open systolic grid of
+    :func:`repro.core.generators.mesh_soc`: data enters at the
+    north-west corner (one dangling input) and drains at the south-east
+    corner (one dangling output); no symmetry is declared — the single
+    entry/exit pins every node.
+
+    ``wrap=True`` is a torus NoC fabric: east and south channels wrap
+    around, every hop carries ``tokens`` pre-loaded transactions, every
+    node exposes its own dangling ``in``/``out`` port (close them with
+    per-port :func:`testbenched`), and the two cyclic translation
+    families (rotate-rows, rotate-columns) are declared.
+    """
+    if rows < 1 or cols < 1:
+        raise CompositionError("mesh needs at least one row and one column")
+    if rows * cols < 2:
+        raise CompositionError("mesh needs at least two nodes")
+    design = Design(
+        name if name is not None else
+        f"{'torus' if wrap else 'mesh'}{rows}x{cols}"
+    )
+    for r in range(rows):
+        for c in range(cols):
+            design.worker(f"n{r}_{c}", latency=latency)
+    if not wrap:
+        design.input("n0_0", "in", wire)
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    design.connect(
+                        f"e{r}_{c}", f"n{r}_{c}", f"n{r}_{c + 1}", wire=wire
+                    )
+                if r + 1 < rows:
+                    design.connect(
+                        f"s{r}_{c}", f"n{r}_{c}", f"n{r + 1}_{c}", wire=wire
+                    )
+        design.output(f"n{rows - 1}_{cols - 1}", "out", wire)
+        return design
+    # Torus: per-node testbench ports, declared before the fabric so the
+    # get order of every node is (tb in, east in, south in) uniformly.
+    if tokens < 1:
+        raise CompositionError(
+            "mesh: a wrapped fabric needs at least one token per hop "
+            "(its rows and columns are rendezvous rings)"
+        )
+    for r in range(rows):
+        for c in range(cols):
+            design.input(f"n{r}_{c}", "in", wire)
+            design.output(f"n{r}_{c}", "out", wire)
+    if rows >= 2:
+        design.declare_family(
+            "torus-rows",
+            "cyclic",
+            [[f"n{r}_{c}" for c in range(cols)] for r in range(rows)],
+        )
+    if cols >= 2:
+        design.declare_family(
+            "torus-cols",
+            "cyclic",
+            [[f"n{r}_{c}" for r in range(rows)] for c in range(cols)],
+        )
+    hop = wire.preloaded(max(tokens, wire.tokens))
+    if cols >= 2:
+        for r in range(rows):
+            for c in range(cols):
+                design.connect(
+                    f"e{r}_{c}", f"n{r}_{c}", f"n{r}_{(c + 1) % cols}",
+                    wire=hop,
+                )
+    if rows >= 2:
+        for r in range(rows):
+            for c in range(cols):
+                design.connect(
+                    f"s{r}_{c}", f"n{r}_{c}", f"n{(r + 1) % rows}_{c}",
+                    wire=hop,
+                )
+    return design
+
+
+def butterfly(
+    bits: int,
+    *,
+    latency: int = 1,
+    wire: Wire = Wire(),
+    name: str | None = None,
+) -> Design:
+    """A ``2^bits``-lane butterfly interconnect (``bits`` switch ranks).
+
+    Ranks ``0..bits`` of workers; between rank ``s`` and ``s+1`` every
+    lane ``i`` sends a *straight* channel (``st{s}_{i}``, to lane ``i``)
+    and a *cross* channel (``cr{s}_{i}``, to lane ``i XOR 2^s``).  The
+    classic FFT dataflow shape.  Rank-0 lanes expose dangling inputs and
+    rank-``bits`` lanes dangling outputs.
+
+    Declares one two-block interchangeable family per address bit — the
+    ``i ↦ i XOR 2^b`` involutions the butterfly is built from — which
+    stay exact under per-port :func:`testbenched` closure.
+    """
+    if bits < 1:
+        raise CompositionError(f"butterfly: bits must be >= 1, got {bits}")
+    lanes = 1 << bits
+    design = Design(name if name is not None else f"butterfly{lanes}")
+    for s in range(bits + 1):
+        for i in range(lanes):
+            design.worker(f"x{s}_{i}", latency=latency)
+    for i in range(lanes):
+        design.input(f"x0_{i}", "in", wire)
+        design.output(f"x{bits}_{i}", "out", wire)
+    for s in range(bits):
+        for i in range(lanes):
+            design.connect(
+                f"st{s}_{i}", f"x{s}_{i}", f"x{s + 1}_{i}", wire=wire
+            )
+        for i in range(lanes):
+            design.connect(
+                f"cr{s}_{i}",
+                f"x{s}_{i}",
+                f"x{s + 1}_{i ^ (1 << s)}",
+                wire=wire,
+            )
+    # The bit-flip families, with explicit channel blocks (the cross
+    # channels of rank b straddle the bit-b blocks, which the incremental
+    # bookkeeping would conservatively reject).
+    for b in range(bits):
+        mask = 1 << b
+        low = [i for i in range(lanes) if not i & mask]
+        design.declare_family(
+            f"bit{b}",
+            "interchangeable",
+            [
+                [f"x{s}_{i}" for s in range(bits + 1) for i in low],
+                [f"x{s}_{i | mask}" for s in range(bits + 1) for i in low],
+            ],
+            [
+                [
+                    f"{kind}{s}_{i}"
+                    for s in range(bits)
+                    for kind in ("st", "cr")
+                    for i in low
+                ],
+                [
+                    f"{kind}{s}_{i | mask}"
+                    for s in range(bits)
+                    for kind in ("st", "cr")
+                    for i in low
+                ],
+            ],
+        )
+    return design
+
+
+# ----------------------------------------------------------------------
+# Testbench closure
+# ----------------------------------------------------------------------
+
+
+def testbenched(
+    design: Design,
+    *,
+    shared: bool = False,
+    source_latency: int = 1,
+    sink_latency: int = 1,
+) -> Design:
+    """Close every dangling port of ``design`` with testbench processes.
+
+    Per-port mode (default): one source per dangling input and one sink
+    per dangling output.  Each testbench process is adopted into the
+    replica block of the node it serves, so declared families stay
+    *exactly* symmetric — this is the closure to use before symmetry-
+    aware verification or exploration.
+
+    ``shared=True``: a single source feeds every input and a single
+    sink drains every output — the classic one-testbench shape.  The
+    shared endpoints serialize their statement order, so families over
+    the closed lanes verify only up to statement reordering.
+    """
+    if shared:
+        if design.inputs:
+            src = design.source("src", latency=source_latency)
+            for index, port in enumerate(list(design.inputs)):
+                src_port = design.output(src, f"out{index}", port.wire)
+                design.wire_ports(src_port, port)
+        if design.outputs:
+            snk = design.sink("snk", latency=sink_latency)
+            for index, port in enumerate(list(design.outputs)):
+                snk_port = design.input(snk, f"in{index}", port.wire)
+                design.wire_ports(port, snk_port)
+        return design
+    for index, port in enumerate(list(design.inputs)):
+        src = design.source(f"src{index}", latency=source_latency)
+        design.adopt_process_into_family(port.node, src)
+        src_port = design.output(src, "out", port.wire)
+        design.wire_ports(src_port, port)
+    for index, port in enumerate(list(design.outputs)):
+        snk = design.sink(f"snk{index}", latency=sink_latency)
+        design.adopt_process_into_family(port.node, snk)
+        snk_port = design.input(snk, "in", port.wire)
+        design.wire_ports(port, snk_port)
+    return design

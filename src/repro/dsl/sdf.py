@@ -1,0 +1,141 @@
+"""Multirate streaming front end: SDF specifications as DSL citizens.
+
+Two pieces close the gap between :mod:`repro.sdf` and the composition
+layer:
+
+* :func:`rate_chain` — the parameterized gnuradio-style rate-converter
+  factory: a linear chain of actors with per-hop (production,
+  consumption) rates, the canonical multirate workload;
+* :func:`streaming_design` — the testbench closure of the homogeneous
+  expansion.  :func:`repro.sdf.convert.sdf_to_system` deliberately emits
+  an all-worker system (no sources or sinks), which fails structural
+  validation by design; ``streaming_design`` extends the same open
+  :class:`~repro.dsl.design.Design` with one source per head actor and
+  one sink per tail actor, feeding/draining **every** firing instance,
+  and elaborates a fully validated system (``validate_system`` passes
+  and the ERM1xx structural lint family is clean) together with an
+  Algorithm-1 statement ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dsl.wire import Wire
+from repro.errors import CompositionError
+from repro.sdf.convert import SdfCompilation, expansion_design, instance_name
+from repro.sdf.graph import SdfGraph
+
+
+def rate_chain(
+    name: str,
+    rates: Sequence[tuple[int, int]],
+    *,
+    execution_times: Sequence[int] | None = None,
+    channel_latency: int = 1,
+) -> SdfGraph:
+    """A linear multirate chain ``a0 → a1 → … → aN``.
+
+    ``rates[i] = (production, consumption)`` types hop ``e{i}`` from
+    ``a{i}`` to ``a{i+1}``; a chain over ``N`` hops has ``N + 1``
+    actors.  ``execution_times`` (length ``N + 1``) sets per-actor
+    latencies, defaulting to 1.
+    """
+    if not rates:
+        raise CompositionError("rate_chain() needs at least one hop")
+    count = len(rates) + 1
+    times = list(execution_times) if execution_times is not None else [1] * count
+    if len(times) != count:
+        raise CompositionError(
+            f"rate_chain: {count} actors need {count} execution times, "
+            f"got {len(times)}"
+        )
+    graph = SdfGraph(name)
+    for index in range(count):
+        graph.add_actor(f"a{index}", execution_time=times[index])
+    for index, (production, consumption) in enumerate(rates):
+        graph.add_edge(
+            f"e{index}",
+            f"a{index}",
+            f"a{index + 1}",
+            production=production,
+            consumption=consumption,
+            latency=channel_latency,
+        )
+    return graph
+
+
+def streaming_design(
+    graph: SdfGraph,
+    *,
+    serialize_actors: bool = True,
+    sync_latency: int = 1,
+    source_latency: int = 1,
+    sink_latency: int = 1,
+) -> SdfCompilation:
+    """Compile ``graph`` and close it with a streaming testbench.
+
+    Head actors (no incoming edges from other actors) get a source
+    ``src_{actor}`` feeding every firing instance; tail actors (no
+    outgoing edges to other actors) get a sink ``snk_{actor}`` draining
+    every instance.  The returned compilation's system passes full
+    structural validation and its ordering is recomputed by Algorithm 1
+    over the closed expansion.
+
+    Raises:
+        CompositionError: Every actor sits in a cycle (no head to feed,
+            or no tail to drain) — such a specification has no external
+            streaming interface to close.
+    """
+    design, repetitions = expansion_design(
+        graph, serialize_actors=serialize_actors, sync_latency=sync_latency
+    )
+    has_input = {
+        edge.consumer for edge in graph.edges if edge.producer != edge.consumer
+    }
+    has_output = {
+        edge.producer for edge in graph.edges if edge.producer != edge.consumer
+    }
+    heads = [actor.name for actor in graph.actors if actor.name not in has_input]
+    tails = [
+        actor.name for actor in graph.actors if actor.name not in has_output
+    ]
+    if not heads:
+        raise CompositionError(
+            f"streaming_design: {graph.name!r} has no head actor (every "
+            "actor has an upstream) — nothing to feed from a source"
+        )
+    if not tails:
+        raise CompositionError(
+            f"streaming_design: {graph.name!r} has no tail actor (every "
+            "actor has a downstream) — nothing to drain into a sink"
+        )
+    for actor in heads:
+        src = design.source(f"src_{actor}", latency=source_latency)
+        count = repetitions[actor]
+        for index in range(count):
+            design.connect(
+                f"__src_{actor}_{index}",
+                src,
+                instance_name(actor, index, count),
+                wire=Wire(),
+            )
+    for actor in tails:
+        snk = design.sink(f"snk_{actor}", latency=sink_latency)
+        count = repetitions[actor]
+        for index in range(count):
+            design.connect(
+                f"__snk_{actor}_{index}",
+                instance_name(actor, index, count),
+                snk,
+                wire=Wire(),
+            )
+    system = design.build()
+
+    from repro.ordering.algorithm import channel_ordering
+
+    return SdfCompilation(
+        system=system,
+        repetitions=repetitions,
+        ordering=channel_ordering(system),
+    )

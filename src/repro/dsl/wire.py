@@ -1,0 +1,121 @@
+"""Port metadata: the typed payload every DSL connection carries.
+
+A :class:`Wire` describes *what* flows through a port — how many data
+elements per transaction, over how wide a link, behind how much FIFO —
+and the physical channel attributes are **derived** from it instead of
+hand-entered:
+
+* ``latency  = max(1, setup + ceil(elements / rate))`` — the cycles one
+  transaction needs, mirroring the channel-characterization model of
+  :func:`repro.hls.characterize.transfer_latency` (a message of
+  ``elements`` words over a link moving ``rate`` words per cycle, after
+  ``setup`` handshake cycles);
+* ``capacity = depth`` — the declared FIFO depth (0 = pure rendezvous);
+* ``initial_tokens = tokens`` — pre-loaded transactions (what makes a
+  feedback loop live).
+
+Two ports may be connected only when their payloads agree (same
+``elements`` and ``rate`` — see :meth:`Wire.compatible`); the buffering
+attributes of the two endpoints are merged conservatively (the deeper
+FIFO, the larger preload, the longer setup wins).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Wire:
+    """Typed per-port metadata from which channel physics is derived.
+
+    Attributes:
+        elements: Data elements (words) per transaction — the payload
+            size, the "type width" of the port.
+        rate: Elements transferred per cycle — the link width.
+        setup: Handshake setup cycles added to every transfer.
+        depth: FIFO depth backing the connection (0 = rendezvous).
+        tokens: Transactions pre-loaded before the system starts.
+    """
+
+    elements: int = 1
+    rate: int = 1
+    setup: int = 0
+    depth: int = 0
+    tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if self.elements < 1:
+            raise ValidationError(
+                f"wire: elements must be >= 1, got {self.elements}"
+            )
+        if self.rate < 1:
+            raise ValidationError(f"wire: rate must be >= 1, got {self.rate}")
+        if self.setup < 0:
+            raise ValidationError(
+                f"wire: setup must be >= 0, got {self.setup}"
+            )
+        if self.depth < 0:
+            raise ValidationError(
+                f"wire: depth must be >= 0, got {self.depth}"
+            )
+        if self.tokens < 0:
+            raise ValidationError(
+                f"wire: tokens must be >= 0, got {self.tokens}"
+            )
+
+    @property
+    def latency(self) -> int:
+        """Derived channel latency: ``max(1, setup + ceil(elements/rate))``."""
+        return max(1, self.setup + math.ceil(self.elements / self.rate))
+
+    @property
+    def capacity(self) -> int:
+        """Derived channel capacity (the declared FIFO depth)."""
+        return self.depth
+
+    def compatible(self, other: "Wire") -> bool:
+        """Payload-compatible: equal element count and link rate."""
+        return self.elements == other.elements and self.rate == other.rate
+
+    def merged(self, other: "Wire") -> "Wire":
+        """The channel wire of a connection between two compatible ports.
+
+        Payload from either side (they agree); buffering and setup are
+        the conservative union of the two declarations.
+        """
+        return Wire(
+            elements=self.elements,
+            rate=self.rate,
+            setup=max(self.setup, other.setup),
+            depth=max(self.depth, other.depth),
+            tokens=max(self.tokens, other.tokens),
+        )
+
+    def buffered(self, depth: int) -> "Wire":
+        """This wire behind a FIFO of ``depth`` slots."""
+        return replace(self, depth=depth)
+
+    def preloaded(self, tokens: int) -> "Wire":
+        """This wire with ``tokens`` pre-loaded transactions."""
+        return replace(self, tokens=tokens)
+
+
+def wire_for_latency(
+    latency: int, *, depth: int = 0, tokens: int = 0
+) -> Wire:
+    """A wire whose derived channel latency is exactly ``latency``.
+
+    The inverse of the derivation rule for hand-specified timing
+    (``latency`` elements over a one-element-per-cycle link): how the
+    paper-pinned generators express their exact channel latencies
+    through the typed layer.
+    """
+    if latency < 1:
+        raise ValidationError(
+            f"wire_for_latency: latency must be >= 1, got {latency}"
+        )
+    return Wire(elements=latency, rate=1, depth=depth, tokens=tokens)

@@ -21,6 +21,17 @@ class ValidationError(ReproError):
     """
 
 
+class CompositionError(ValidationError):
+    """A DSL composition step is ill-typed or structurally impossible.
+
+    Examples: piping a two-output block into a three-input block,
+    connecting ports whose payload types disagree, or elaborating a
+    design that still has unconnected ports.  A subclass of
+    :class:`ValidationError`: composition errors are construction-time
+    validation failures, reported at the combinator call site.
+    """
+
+
 class DeadlockError(ReproError):
     """A configuration is dead: some dependency cycle can never make progress.
 

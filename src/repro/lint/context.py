@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hls.pareto import ImplementationLibrary
     from repro.ir import LoweredIR
     from repro.model.performance import SystemPerformance
-    from repro.sym import SymmetryAnalysis
+    from repro.sym import SymmetryAnalysis, VerifiedFamily
     from repro.verify.checker import VerificationResult
 
 _UNSET = object()
@@ -69,6 +69,7 @@ class LintContext:
         self._symmetry: object = _UNSET
         self._symmetry_order_relaxed: object = _UNSET
         self._symmetry_topology_relaxed: object = _UNSET
+        self._declared_families: object = _UNSET
 
     # ------------------------------------------------------------------
     # Structural soundness
@@ -199,6 +200,31 @@ class LintContext:
             )
         return self._symmetry_topology_relaxed  # type: ignore[return-value]
 
+    def declared_families(self) -> "tuple[VerifiedFamily, ...] | None":
+        """The system's declared replication families, verified — or ``None``.
+
+        ``None`` when the configuration is not sound or the system
+        declares no families; otherwise the subset of declarations whose
+        generators pass table verification against the lowered program
+        (:func:`repro.sym.verify_families`), each tagged with the
+        strongest policy it holds under (``EXACT``, or ``ORDER_RELAXED``
+        when a shared endpoint serializes the lanes).  The empty tuple
+        means families were declared but none survived — a drift signal
+        rules may ignore.  This is the fast path ERM701 reports from
+        without running the canonical-labeling search.
+        """
+        if self._declared_families is _UNSET:
+            ir = self.ir()
+            if ir is None or not self.system.declared_families:
+                self._declared_families = None
+            else:
+                from repro.sym import verify_families
+
+                self._declared_families = verify_families(
+                    ir, self.system.declared_families
+                )
+        return self._declared_families  # type: ignore[return-value]
+
     def _analyze_symmetry(
         self, policy: object, small_only: bool = False
     ) -> "SymmetryAnalysis | None":
@@ -210,9 +236,18 @@ class LintContext:
 
             if not is_small_system(self.system):
                 return None
-        from repro.sym import EXACT, analyze_symmetry
+        from repro.sym import EXACT, analyze_symmetry, declared_seeds
 
-        return analyze_symmetry(ir, policy=policy if policy is not None else EXACT)  # type: ignore[arg-type]
+        seeds = (
+            declared_seeds(ir, self.system.declared_families)
+            if self.system.declared_families
+            else ()
+        )
+        return analyze_symmetry(
+            ir,
+            policy=policy if policy is not None else EXACT,  # type: ignore[arg-type]
+            seeds=seeds,
+        )
 
     # ------------------------------------------------------------------
     # Deadlock facts

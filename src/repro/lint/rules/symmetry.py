@@ -98,6 +98,37 @@ def register_symmetry(registry: RuleRegistry) -> None:
         "representative.",
     )
     def _erm701(context: LintContext) -> Iterable[Diagnostic]:
+        declared = context.declared_families()
+        if declared:
+            # Fast path: the construction layer declared its replication
+            # and the claims verified against the lowered program — report
+            # the declared families directly, no canonical-labeling search.
+            for verified in declared:
+                qualifier = (
+                    "verified automorphisms of the lowered program"
+                    if verified.exact
+                    else "verified up to statement reordering — a shared "
+                    "endpoint serializes the lanes"
+                )
+                for orbit_names in verified.family.process_orbits:
+                    if len(set(orbit_names)) < 2:
+                        continue
+                    members = tuple(sorted(orbit_names))
+                    yield Diagnostic(
+                        rule="ERM701",
+                        severity=Severity.INFO,
+                        message=(
+                            f"processes {', '.join(repr(m) for m in members)} "
+                            f"form a replicated family of {len(members)} "
+                            "interchangeable stages, declared by the "
+                            f"composition layer as {verified.family.name!r} "
+                            f"({verified.family.kind}; {qualifier}); "
+                            "quotient verification and orbit-deduped "
+                            "exploration treat them as one."
+                        ),
+                        location=members,
+                    )
+            return
         analysis = context.symmetry()
         if analysis is None or analysis.trivial or not analysis.complete:
             return

@@ -26,8 +26,9 @@ real values come from the Pareto library (:mod:`repro.mpeg2.paretos`).
 
 from __future__ import annotations
 
-from repro.core.builder import SystemBuilder
 from repro.core.system import SystemGraph
+from repro.dsl.design import Design
+from repro.dsl.wire import Wire
 from repro.hls.characterize import (
     FRAME_HEIGHT,
     FRAME_WIDTH,
@@ -218,23 +219,31 @@ def build_mpeg2_system() -> SystemGraph:
     ``SystemConfiguration`` or ``process_latencies=`` overrides before
     analyzing performance.
     """
-    builder = SystemBuilder("mpeg2_encoder")
-    builder.source("Psrc", latency=1)
+    design = Design("mpeg2_encoder")
+    design.source("Psrc", latency=1)
     for name in PROCESS_NAMES:
-        builder.process(name, latency=1)
-    builder.sink("Psnk", latency=1)
+        design.worker(name, latency=1)
+    design.sink("Psnk", latency=1)
 
     for name, (producer, consumer, elements, physics, tokens) in {
         **CHANNEL_SPECS,
         **TESTBENCH_SPECS,
     }.items():
         capacity = CONTROL_FIFO_DEPTH if physics is _NARROW else 0
-        builder.channel(
+        # Per-frame data volume over the port's physical width, expressed
+        # as typed wire metadata; the channel latency derived by the
+        # composition layer coincides with transfer_latency(elements,
+        # physics) — same formula, by design (see repro.dsl.wire).
+        design.connect(
             name,
             producer,
             consumer,
-            latency=transfer_latency(elements, physics),
-            capacity=max(capacity, tokens),
-            initial_tokens=tokens,
+            wire=Wire(
+                elements=elements,
+                rate=physics.elements_per_cycle,
+                setup=physics.setup_cycles,
+                depth=max(capacity, tokens),
+                tokens=tokens,
+            ),
         )
-    return builder.build()
+    return design.build()

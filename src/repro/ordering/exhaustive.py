@@ -102,9 +102,15 @@ def exhaustive_search(
         ordering: ChannelOrdering,
     ) -> tuple[str, tuple[int, ...]] | None:
         from repro.ir import lower
-        from repro.sym import analyze_symmetry
+        from repro.sym import analyze_symmetry, declared_seeds
 
-        analysis = analyze_symmetry(lower(system, ordering))
+        ir = lower(system, ordering)
+        seeds = (
+            declared_seeds(ir, system.declared_families)
+            if system.declared_families
+            else ()
+        )
+        analysis = analyze_symmetry(ir, seeds=seeds)
         if not analysis.complete:
             return None  # budget-capped labeling: analyze concretely
         latencies = tuple(

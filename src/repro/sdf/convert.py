@@ -18,21 +18,26 @@ becomes a channel ``a[k mod q_a] → b[j mod q_b]`` with
 i.e. fewest-token, channel).  Actors are serialized — one hardware
 instance executes its ``q`` firings in order — via a cyclic chain of
 synchronization channels, matching the paper's serial-process semantics.
+
+The expansion is assembled through the composition layer
+(:class:`repro.dsl.design.Design`): instances are nodes, dependencies
+are connections, and channel latency/capacity/tokens are expressed as
+:class:`~repro.dsl.wire.Wire` metadata (``wire_for_latency``), keeping
+this path on the same elaboration contract — declaration order is
+composition order — that the hash-pinned generators rely on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.core.system import (
-    Channel,
-    ChannelOrdering,
-    Process,
-    ProcessKind,
-    SystemGraph,
-)
+from repro.core.system import ChannelOrdering, SystemGraph
 from repro.errors import ValidationError
 from repro.sdf.graph import SdfGraph
+
+if TYPE_CHECKING:
+    from repro.dsl.design import Design
 
 
 def instance_name(actor: str, index: int, count: int) -> str:
@@ -59,20 +64,18 @@ class SdfCompilation:
         return tuple(instance_name(actor, i, count) for i in range(count))
 
 
-def sdf_to_system(
+def expansion_design(
     graph: SdfGraph,
     serialize_actors: bool = True,
     sync_latency: int = 1,
-) -> SdfCompilation:
-    """Compile an SDF graph into the blocking-channel system model.
+) -> tuple["Design", dict[str, int]]:
+    """The homogeneous expansion as an *open* composition-layer design.
 
-    Args:
-        graph: A rate-consistent SDF graph.
-        serialize_actors: Chain each actor's instances so one serial
-            hardware unit executes all its firings per iteration (the
-            paper's process semantics).  Disable for fully parallel
-            instance hardware.
-        sync_latency: Latency of the serialization channels.
+    Returns the :class:`~repro.dsl.design.Design` holding every firing
+    instance and dependency channel, plus the repetition vector.  The
+    design is deliberately left open — it is all worker instances, so a
+    testbench closure (e.g. :func:`repro.dsl.sdf.streaming_design`) can
+    extend it before elaboration.
 
     Raises:
         ValidationError: The graph is rate-inconsistent, or an actor has a
@@ -80,17 +83,21 @@ def sdf_to_system(
             enough delay are implied by serialization and are dropped;
             under-delayed ones would deadlock every schedule).
     """
+    # Deferred: repro.dsl re-exports its sdf helpers, which import this
+    # module — resolving the composition layer at call time keeps both
+    # package __init__ orders cycle-free.
+    from repro.dsl.design import Design
+    from repro.dsl.wire import wire_for_latency
+
     repetitions = graph.repetition_vector()
-    system = SystemGraph(f"{graph.name}.hsdf")
+    design = Design(f"{graph.name}.hsdf")
 
     for actor in graph.actors:
         count = repetitions[actor.name]
         for index in range(count):
-            system.add_process(
-                Process(
-                    instance_name(actor.name, index, count),
-                    latency=actor.execution_time,
-                )
+            design.worker(
+                instance_name(actor.name, index, count),
+                latency=actor.execution_time,
             )
 
     channel_index = 0
@@ -127,15 +134,13 @@ def sdf_to_system(
         for (k_index, j_index), tokens in sorted(best.items()):
             source = instance_name(edge.producer, k_index, q_prod)
             target = instance_name(edge.consumer, j_index, q_cons)
-            system.add_channel(
-                Channel(
-                    f"{edge.name}.{channel_index}",
-                    source,
-                    target,
-                    latency=edge.latency,
-                    initial_tokens=tokens,
-                    capacity=tokens,
-                )
+            design.connect(
+                f"{edge.name}.{channel_index}",
+                source,
+                target,
+                wire=wire_for_latency(
+                    edge.latency, depth=tokens, tokens=tokens
+                ),
             )
             channel_index += 1
 
@@ -146,16 +151,48 @@ def sdf_to_system(
                 continue  # the process chain is already serial
             for index in range(count):
                 succ = (index + 1) % count
-                system.add_channel(
-                    Channel(
-                        f"__serial_{actor.name}_{index}",
-                        instance_name(actor.name, index, count),
-                        instance_name(actor.name, succ, count),
-                        latency=sync_latency,
-                        initial_tokens=1 if succ == 0 else 0,
-                        capacity=1 if succ == 0 else 0,
-                    )
+                loopback = 1 if succ == 0 else 0
+                design.connect(
+                    f"__serial_{actor.name}_{index}",
+                    instance_name(actor.name, index, count),
+                    instance_name(actor.name, succ, count),
+                    wire=wire_for_latency(
+                        sync_latency, depth=loopback, tokens=loopback
+                    ),
                 )
+
+    return design, repetitions
+
+
+def sdf_to_system(
+    graph: SdfGraph,
+    serialize_actors: bool = True,
+    sync_latency: int = 1,
+) -> SdfCompilation:
+    """Compile an SDF graph into the blocking-channel system model.
+
+    Args:
+        graph: A rate-consistent SDF graph.
+        serialize_actors: Chain each actor's instances so one serial
+            hardware unit executes all its firings per iteration (the
+            paper's process semantics).  Disable for fully parallel
+            instance hardware.
+        sync_latency: Latency of the serialization channels.
+
+    Raises:
+        ValidationError: The graph is rate-inconsistent, or an actor has a
+            self-loop edge that cannot be expressed (self-loops with
+            enough delay are implied by serialization and are dropped;
+            under-delayed ones would deadlock every schedule).
+    """
+    design, repetitions = expansion_design(
+        graph, serialize_actors=serialize_actors, sync_latency=sync_latency
+    )
+
+    # The raw expansion is all worker instances (its testbench closure is
+    # the caller's concern — see repro.dsl.sdf.streaming_design), so full
+    # structural validation is deferred to that closure.
+    system = design.build(validate=False)
 
     # Algorithm 1 over the expansion: the zero-token subgraph of a
     # consistent expansion is acyclic (every backward edge carries

@@ -34,6 +34,12 @@ from repro.sym.canonical import (
     is_automorphism,
     respects_policy,
 )
+from repro.sym.declared import (
+    VerifiedFamily,
+    declared_seeds,
+    family_perms,
+    verify_families,
+)
 from repro.sym.perm import (
     PairPerm,
     Perm,
@@ -64,13 +70,16 @@ __all__ = [
     "StateSymmetry",
     "SymmetryAnalysis",
     "TOPOLOGY_RELAXED",
+    "VerifiedFamily",
     "analyze_symmetry",
     "canonical_hash_of",
     "clear_memo",
     "closure",
     "compose",
     "compose_pair",
+    "declared_seeds",
     "default_node_budget",
+    "family_perms",
     "identity",
     "identity_pair",
     "invert",
@@ -80,4 +89,5 @@ __all__ = [
     "is_identity_pair",
     "respects_policy",
     "state_symmetry",
+    "verify_families",
 ]

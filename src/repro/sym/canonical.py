@@ -576,12 +576,25 @@ def analyze_symmetry(
     ir: LoweredIR,
     policy: SigPolicy = EXACT,
     node_budget: int | None = None,
+    seeds: Sequence[PairPerm] = (),
 ) -> SymmetryAnalysis:
     """Compute orbits, generators, and the canonical hash of ``ir``.
 
+    ``seeds`` are *candidate* automorphism generators known ahead of the
+    search — typically derived from the system's declared replication
+    families (:func:`repro.sym.declared.declared_seeds`).  Each seed is
+    re-verified against the IR tables before it is trusted (a drifted or
+    false declaration is silently dropped), then fed to the search's
+    orbit pruning, so correct seeds turn the leaf-pair *rediscovery* of
+    known symmetry into an upfront declaration.  Seeding never changes
+    ``canonical_hash`` — orbit pruning only skips subtrees whose leaves
+    are automorphic images of explored ones — it only changes how much
+    of the tree must be walked and which generators survive a budget
+    exhaustion.
+
     Memoized process-wide on the IR's content *and declaration order*
     (labelings are declaration-order-sensitive even though the
-    structural hash is not), the policy, and the budget.
+    structural hash is not), the policy, the budget, and the seeds.
     """
     if node_budget is None:
         node_budget = default_node_budget(ir)
@@ -591,12 +604,13 @@ def analyze_symmetry(
         ir.channels,
         tuple(policy),
         node_budget,
+        tuple(seeds),
     )
     hit = _memo.get(key)
     if hit is not None:
         _memo.move_to_end(key)
         return hit
-    analysis = _analyze_uncached(ir, policy, node_budget)
+    analysis = _analyze_uncached(ir, policy, node_budget, seeds)
     _memo[key] = analysis
     if len(_memo) > _MEMO_SIZE:
         _memo.popitem(last=False)
@@ -630,10 +644,17 @@ def _fallback_labelings(ir: LoweredIR) -> tuple[Perm, Perm]:
 
 
 def _analyze_uncached(
-    ir: LoweredIR, policy: SigPolicy, node_budget: int
+    ir: LoweredIR,
+    policy: SigPolicy,
+    node_budget: int,
+    seeds: Sequence[PairPerm] = (),
 ) -> SymmetryAnalysis:
     tables = _Tables(ir, policy)
     search = _Search(tables, node_budget)
+    for gp, gc in seeds:
+        # _record_generator re-verifies via respects_policy, so a stale
+        # or false seed is dropped instead of poisoning the orbits.
+        search._record_generator(gp, gc)
     if ir.n_processes > 0:
         search.descend(
             (0,) * ir.n_processes, (0,) * ir.n_channels, []

@@ -1,0 +1,132 @@
+"""Verification and spending of declared replication families.
+
+The construction layer (:mod:`repro.dsl`) *claims* replication structure
+via :class:`~repro.core.families.DeclaredFamily` entries on the system.
+This module is the trust boundary where claims become facts:
+
+* :func:`family_perms` — translate one family's name-level generator
+  maps into id-frame permutation pairs over a concrete
+  :class:`~repro.ir.LoweredIR` (empty when any referenced name is gone
+  or a map fails to be a bijection — the drifted-family case);
+* :func:`verify_families` — check each family's generators against the
+  IR tables, first under the :data:`~repro.sym.canonical.EXACT` policy,
+  falling back to :data:`~repro.sym.canonical.ORDER_RELAXED` (the ERM702
+  equivalence: a shared fork/join endpoint serializes its statement
+  order, so lane swaps hold only up to statement reordering).  Families
+  that fail both are dropped;
+* :func:`declared_seeds` — every candidate generator, ready to seed
+  :func:`~repro.sym.canonical.analyze_symmetry`'s orbit pruning (the
+  search re-verifies each seed itself, so this function does not).
+
+Verification is cheap — ``O(generators × IR size)`` table checks, no
+search — which is the whole point: a declared family costs a handful of
+:func:`~repro.sym.canonical.respects_policy` calls where a rediscovered
+one costs a canonical-labeling descent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.families import DeclaredFamily
+from repro.ir import LoweredIR
+from repro.sym.canonical import EXACT, ORDER_RELAXED, SigPolicy, respects_policy
+from repro.sym.perm import PairPerm
+
+
+def family_perms(
+    ir: LoweredIR, family: DeclaredFamily
+) -> tuple[PairPerm, ...]:
+    """The family's claimed generators as id-frame permutation pairs.
+
+    Names absent from the maps are fixed points.  Returns ``()`` when
+    any referenced process/channel name does not exist in ``ir`` or a
+    map is not injective on ids — the family has drifted from the
+    system it was declared on and claims nothing here.
+    """
+    p_index = {name: i for i, name in enumerate(ir.processes)}
+    c_index = {name: i for i, name in enumerate(ir.channels)}
+    perms: list[PairPerm] = []
+    for pmap, cmap in family.generator_maps():
+        gp = list(range(ir.n_processes))
+        gc = list(range(ir.n_channels))
+        for mapping, index, perm in (
+            (pmap, p_index, gp),
+            (cmap, c_index, gc),
+        ):
+            for src, dst in mapping.items():
+                if src not in index or dst not in index:
+                    return ()
+                perm[index[src]] = index[dst]
+            if len(set(perm)) != len(perm):
+                return ()
+        perms.append((tuple(gp), tuple(gc)))
+    return tuple(perms)
+
+
+@dataclass(frozen=True)
+class VerifiedFamily:
+    """One declared family whose generators all passed table verification.
+
+    Attributes:
+        family: The declaration that was checked.
+        policy: The strongest policy every generator satisfied —
+            :data:`EXACT`, or :data:`ORDER_RELAXED` when the symmetry
+            holds only up to statement reordering.
+        generators: The verified id-frame generator pairs.
+    """
+
+    family: DeclaredFamily
+    policy: SigPolicy
+    generators: tuple[PairPerm, ...]
+
+    @property
+    def exact(self) -> bool:
+        """True when the family holds under the full IR equivalence."""
+        return self.policy == EXACT
+
+
+def verify_families(
+    ir: LoweredIR, families: Sequence[DeclaredFamily]
+) -> tuple[VerifiedFamily, ...]:
+    """Check every declared family against the lowered program.
+
+    Per family, all claimed generators must pass under one policy for
+    the family to verify at that policy; EXACT is tried first, then
+    ORDER_RELAXED.  Families failing both (or drifted — see
+    :func:`family_perms`) are silently dropped: a declaration is a
+    claim, never a proof.
+    """
+    verified: list[VerifiedFamily] = []
+    for family in families:
+        perms = family_perms(ir, family)
+        if not perms:
+            continue
+        for policy in (EXACT, ORDER_RELAXED):
+            if all(
+                respects_policy(ir, gp, gc, policy) for gp, gc in perms
+            ):
+                verified.append(VerifiedFamily(family, policy, perms))
+                break
+    return tuple(verified)
+
+
+def declared_seeds(
+    ir: LoweredIR, families: Sequence[DeclaredFamily]
+) -> tuple[PairPerm, ...]:
+    """All candidate generators from ``families``, deduplicated.
+
+    Intended as the ``seeds`` argument of
+    :func:`~repro.sym.canonical.analyze_symmetry`, which re-verifies
+    each one under its own policy — so this deliberately does *not*
+    filter by policy, only by resolvability.
+    """
+    seen: set[PairPerm] = set()
+    seeds: list[PairPerm] = []
+    for family in families:
+        for pair in family_perms(ir, family):
+            if pair not in seen:
+                seen.add(pair)
+                seeds.append(pair)
+    return tuple(seeds)

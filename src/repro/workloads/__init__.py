@@ -1,0 +1,23 @@
+"""Generated workload suite: seeded streaming design families.
+
+Each family is a pure function of ``(seed, size)`` built on
+:mod:`repro.dsl`, so workloads regenerate bit-identically anywhere —
+see :mod:`repro.workloads.suite` for the catalog and ``ermes gen`` for
+the CLI front end.
+"""
+
+from repro.workloads.suite import (
+    FAMILIES,
+    FamilySpec,
+    Workload,
+    family_names,
+    generate,
+)
+
+__all__ = [
+    "FAMILIES",
+    "FamilySpec",
+    "Workload",
+    "family_names",
+    "generate",
+]

@@ -151,3 +151,36 @@ class TestValidation:
         builder.channel("y", "c", "b")
         with pytest.raises(ValidationError, match="cannot reach"):
             validate_system(builder._system)
+
+
+class TestChannelCallSiteErrors:
+    """Wiring against an undeclared process fails where the typo is."""
+
+    def test_unknown_producer_fails_at_the_channel_call(self):
+        builder = SystemBuilder("t").source("src").process("a").sink("snk")
+        with pytest.raises(
+            ValidationError,
+            match="channel 'c': producer 'ghost' is not a declared process",
+        ):
+            builder.channel("c", "ghost", "a")
+
+    def test_unknown_consumer_names_the_role(self):
+        builder = SystemBuilder("t").source("src").process("a").sink("snk")
+        with pytest.raises(
+            ValidationError,
+            match="channel 'c': consumer 'snkk' is not a declared process",
+        ):
+            builder.channel("c", "a", "snkk")
+
+    def test_error_points_at_the_fix(self):
+        builder = SystemBuilder("t").source("src")
+        with pytest.raises(ValidationError, match=r"\.source\(\)/\.sink\(\)"):
+            builder.channel("c", "src", "missing")
+
+    def test_nothing_is_added_on_failure(self):
+        builder = SystemBuilder("t").source("src").process("a").sink("snk")
+        with pytest.raises(ValidationError):
+            builder.channel("c", "a", "typo")
+        builder.channel("i", "src", "a").channel("c", "a", "snk")
+        system = builder.build()
+        assert system.channel_names == ("i", "c")

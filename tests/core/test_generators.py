@@ -1,5 +1,7 @@
 """Tests for the system generators (motivating example, synthetic SoCs)."""
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -9,6 +11,7 @@ from repro.core import (
     motivating_example,
     pipeline,
     synthetic_soc,
+    system_to_dict,
     validate_system,
 )
 from repro.core.generators import (
@@ -146,3 +149,41 @@ class TestSyntheticSoc:
     @given(n=st.integers(2, 60), seed=st.integers(0, 10))
     def test_always_valid(self, n, seed):
         validate_system(synthetic_soc(n, seed=seed))
+
+
+class TestExplicitRandomStream:
+    """The seeded-``random.Random`` satellite: one explicit stream, no
+    module-global randomness, reproducible end to end."""
+
+    def test_rng_matches_equivalent_seed(self):
+        explicit = synthetic_soc(24, rng=random.Random(0))
+        seeded = synthetic_soc(24, seed=0)
+        assert system_to_dict(explicit) == system_to_dict(seeded)
+
+    def test_rng_overrides_seed_argument(self):
+        # With an explicit stream the seed argument is inert.
+        a = synthetic_soc(24, seed=123, rng=random.Random(5))
+        b = synthetic_soc(24, seed=456, rng=random.Random(5))
+        assert system_to_dict(a) == system_to_dict(b)
+
+    def test_one_stream_threads_through_consecutive_calls(self):
+        def compose(seed):
+            rng = random.Random(seed)
+            return [
+                system_to_dict(synthetic_soc(12, rng=rng)),
+                system_to_dict(synthetic_soc(12, rng=rng)),
+            ]
+
+        first, second = compose(9)
+        # The stream advances: the second draw differs from the first...
+        assert first != second
+        # ...but the whole composition replays bit-identically.
+        assert compose(9) == [first, second]
+
+    def test_module_global_random_state_is_untouched(self):
+        random.seed(1234)
+        checkpoint = random.random()
+        random.seed(1234)
+        synthetic_soc(24, rng=random.Random(3))
+        synthetic_soc(24, seed=8)
+        assert random.random() == checkpoint

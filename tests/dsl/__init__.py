@@ -1,0 +1,1 @@
+"""Tests for the compositional design DSL (repro.dsl)."""

@@ -1,0 +1,66 @@
+"""Golden structural digests: the DSL refactor changed no elaborated system.
+
+Every hand-built generator was rebuilt on top of ``repro.dsl``; these
+digests pin the exact lowered-program identity (process/channel tables,
+latencies, capacities, tokens, default statement order) each produced
+*before* the refactor.  A digest change here means the refactor altered
+a published system — never accept a new value without diffing the
+elaborated graphs.
+"""
+
+import pytest
+
+from repro.core import (
+    ChannelOrdering,
+    fork_join,
+    mesh_soc,
+    motivating_example,
+    pipeline,
+    ring_soc,
+    synthetic_soc,
+)
+from repro.ir import structural_hash_of
+
+GOLDEN = {
+    "motivating": (
+        lambda: motivating_example(),
+        "e58609bdcd544c1b07ddbd91a9f196f4e35a20347339da124c6079dc4281dcdf",
+    ),
+    "synthetic_soc_24_seed0": (
+        lambda: synthetic_soc(24, seed=0),
+        "75f9e0274632f7485138c5dc368f477938fee806e7c8570b7fa99a178739ac90",
+    ),
+    "synthetic_soc_60_seed7": (
+        lambda: synthetic_soc(60, seed=7),
+        "3bdd654c1324d6cd1ee998d653532169331b72659f6ec0e34feb46cd44e7c267",
+    ),
+    "pipeline_5": (
+        lambda: pipeline(5),
+        "f7b28a7474f420f6b81f26510af4dbd567f9243579d43d52195409239313d03f",
+    ),
+    "fork_join_3": (
+        lambda: fork_join(3),
+        "969d8e959e28c5086dd2ec46e334372b1bf981e921c3ea20ffc4ed5f88f461e9",
+    ),
+    "ring_soc_6": (
+        lambda: ring_soc(6),
+        "b833de5d19105dee5f72149957cd7abd2abfa58e053f4b0fdfe26bf83e672547",
+    ),
+    "mesh_soc_3x4": (
+        lambda: mesh_soc(3, 4),
+        "ec68c78403d587d9a7e0981cf0472c73bb3db8ca74b965f2e5c8a2d8d37308fa",
+    ),
+}
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN))
+def test_generator_digest_is_pinned(case):
+    factory, expected = GOLDEN[case]
+    system = factory()
+    digest = structural_hash_of(
+        system, ChannelOrdering.declaration_order(system)
+    )
+    assert digest == expected, (
+        f"{case}: structural hash drifted — the DSL elaboration no longer "
+        "reproduces the pre-refactor system"
+    )

@@ -1,0 +1,52 @@
+"""Property tests: every combinator elaborates to a valid, honest system."""
+
+from hypothesis import given, settings
+
+from repro.core import ChannelOrdering, validate_system
+from repro.ir import lower
+from repro.model import analyze_system
+from repro.ordering import channel_ordering
+from repro.sym import verify_families
+
+from tests.strategies import (
+    dsl_combinator_systems,
+    replicated_family_systems,
+)
+
+
+@given(system=dsl_combinator_systems())
+@settings(max_examples=40, deadline=None)
+def test_combinator_systems_are_valid(system):
+    """Whatever a combinator builds passes full structural validation."""
+    validate_system(system)
+
+
+@given(system=dsl_combinator_systems())
+@settings(max_examples=30, deadline=None)
+def test_declared_families_always_verify(system):
+    """A family the DSL declares is a fact, never an overclaim: every
+    claim on the elaborated system verifies against the lowered program
+    (exactly, or up to statement reordering for shared endpoints)."""
+    ir = lower(system, ChannelOrdering.declaration_order(system))
+    verified = verify_families(ir, system.declared_families)
+    assert len(verified) == len(system.declared_families)
+
+
+@given(system=dsl_combinator_systems())
+@settings(max_examples=20, deadline=None)
+def test_combinator_systems_are_analyzable(system):
+    """Algorithm 1 finds a deadlock-free ordering and the TMG analysis
+    yields a finite positive cycle time for every composition."""
+    performance = analyze_system(system, channel_ordering(system))
+    assert performance.cycle_time >= 1
+
+
+@given(system=replicated_family_systems())
+@settings(max_examples=25, deadline=None)
+def test_replicated_strategies_declare_verifying_families(system):
+    assert system.declared_families
+    ir = lower(system, ChannelOrdering.declaration_order(system))
+    verified = verify_families(ir, system.declared_families)
+    assert len(verified) == len(system.declared_families)
+    for family in verified:
+        assert family.family.replicas >= 2

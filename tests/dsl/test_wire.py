@@ -1,0 +1,82 @@
+"""Wire: typed port metadata and the latency/capacity derivation."""
+
+import pytest
+
+from repro.dsl import Wire, wire_for_latency
+from repro.errors import ValidationError
+
+
+class TestValidation:
+    def test_elements_must_be_positive(self):
+        with pytest.raises(ValidationError, match="elements must be >= 1"):
+            Wire(elements=0)
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValidationError, match="rate must be >= 1"):
+            Wire(rate=0)
+
+    def test_setup_must_be_nonnegative(self):
+        with pytest.raises(ValidationError, match="setup must be >= 0"):
+            Wire(setup=-1)
+
+    def test_depth_must_be_nonnegative(self):
+        with pytest.raises(ValidationError, match="depth must be >= 0"):
+            Wire(depth=-1)
+
+    def test_tokens_must_be_nonnegative(self):
+        with pytest.raises(ValidationError, match="tokens must be >= 0"):
+            Wire(tokens=-2)
+
+
+class TestDerivation:
+    def test_latency_is_ceil_elements_over_rate(self):
+        assert Wire(elements=32, rate=16).latency == 2
+        assert Wire(elements=33, rate=16).latency == 3
+        assert Wire(elements=8, rate=8).latency == 1
+
+    def test_setup_adds_handshake_cycles(self):
+        assert Wire(elements=4, rate=2, setup=3).latency == 5
+
+    def test_latency_floor_is_one(self):
+        assert Wire().latency == 1
+
+    def test_capacity_is_depth(self):
+        assert Wire(depth=4).capacity == 4
+        assert Wire().capacity == 0
+
+
+class TestComposition:
+    def test_compatible_ignores_buffering(self):
+        a = Wire(elements=8, rate=2, depth=0)
+        b = Wire(elements=8, rate=2, depth=7, setup=3, tokens=1)
+        assert a.compatible(b) and b.compatible(a)
+
+    def test_incompatible_payloads(self):
+        assert not Wire(elements=8).compatible(Wire(elements=4))
+        assert not Wire(rate=2).compatible(Wire(rate=1))
+
+    def test_merged_takes_conservative_union(self):
+        a = Wire(elements=8, rate=2, setup=1, depth=3, tokens=0)
+        b = Wire(elements=8, rate=2, setup=2, depth=1, tokens=1)
+        merged = a.merged(b)
+        assert merged == Wire(elements=8, rate=2, setup=2, depth=3, tokens=1)
+
+    def test_buffered_and_preloaded_return_new_wires(self):
+        base = Wire(elements=4)
+        assert base.buffered(5).depth == 5
+        assert base.preloaded(2).tokens == 2
+        assert base.depth == 0 and base.tokens == 0  # frozen original
+
+
+class TestWireForLatency:
+    @pytest.mark.parametrize("latency", [1, 2, 5, 16])
+    def test_round_trips_the_derivation(self, latency):
+        assert wire_for_latency(latency).latency == latency
+
+    def test_buffering_passthrough(self):
+        wire = wire_for_latency(3, depth=4, tokens=1)
+        assert (wire.capacity, wire.tokens) == (4, 1)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValidationError, match="latency must be >= 1"):
+            wire_for_latency(0)

@@ -12,6 +12,23 @@ from hypothesis import strategies as st
 
 from repro.core.builder import SystemBuilder
 from repro.core.system import SystemGraph
+from repro.dsl import (
+    butterfly,
+    fanout,
+    join,
+    mesh,
+    pipe,
+    rate_chain,
+    reduce_tree,
+    replicate,
+    ring,
+    sink_stage,
+    source_stage,
+    stage,
+    testbenched,
+    wire_for_latency,
+)
+from repro.sdf import SdfGraph
 from repro.tmg.graph import TimedMarkedGraph
 
 
@@ -110,35 +127,38 @@ def replicated_lane_systems(
 ) -> SystemGraph:
     """A k-wide replicated fanout: per-lane source → worker → sink.
 
-    Every lane is an identical copy (same latencies, same channel
-    attributes, lane-local endpoints), so the strict automorphism group
-    contains the full symmetric group on lanes — the canonical "family
-    of interchangeable stages" the compositional flow produces.
+    Built through the DSL: :func:`repro.dsl.replicate` declares the
+    ``lanes`` family and per-port :func:`repro.dsl.testbenched` closure
+    keeps it exact, so the strict automorphism group contains the full
+    symmetric group on lanes — the canonical "family of interchangeable
+    stages" the compositional flow produces.
     """
     k = draw(st.integers(min_lanes, max_lanes))
     src_latency = draw(st.integers(1, max_latency))
     worker_latency = draw(st.integers(1, max_latency))
     snk_latency = draw(st.integers(1, max_latency))
-    in_latency = draw(st.integers(1, max_latency))
-    out_latency = draw(st.integers(1, max_latency))
     capacity = draw(st.integers(0, max_capacity))
+    in_wire = wire_for_latency(
+        draw(st.integers(1, max_latency)), depth=capacity
+    )
+    out_wire = wire_for_latency(
+        draw(st.integers(1, max_latency)), depth=capacity
+    )
 
-    builder = SystemBuilder("lanes")
-    for i in range(k):
-        builder.source(f"src{i}", latency=src_latency)
-        builder.process(f"w{i}", latency=worker_latency)
-        builder.sink(f"snk{i}", latency=snk_latency)
-    for i in range(k):
-        builder.channel(
-            f"in{i}", f"src{i}", f"w{i}",
-            latency=in_latency, capacity=capacity,
-        )
-    for i in range(k):
-        builder.channel(
-            f"out{i}", f"w{i}", f"snk{i}",
-            latency=out_latency, capacity=capacity,
-        )
-    return builder.build()
+    design = replicate(
+        k,
+        lambda i: stage(
+            f"w{i}",
+            latency=worker_latency,
+            inputs=[("in", in_wire)],
+            outputs=[("out", out_wire)],
+        ),
+        family="lanes",
+    )
+    testbenched(
+        design, source_latency=src_latency, sink_latency=snk_latency
+    )
+    return design.build(name="lanes")
 
 
 @st.composite
@@ -151,33 +171,34 @@ def replicated_ring_systems(
 ) -> SystemGraph:
     """A k-stage rotationally symmetric ring with per-stage testbench.
 
-    Channels are declared *grouped by role* (all ``in*``, then all
-    ``ring*`` with one pre-loaded token each, then all ``out*``): the
-    grouped declaration gives every stage the same statement order
-    relative to the rotation, so the strict automorphism group contains
-    the cyclic group Z_k.  Interleaving the declaration per stage would
-    break that (a genuine per-lane asymmetry in the lowered programs).
+    Built through :func:`repro.dsl.ring`: every stage declares its ports
+    in the same order (ring hop first, then the testbench tap), the hop
+    channels carry one pre-loaded token each, and the per-port testbench
+    closure keeps every stage's statement order aligned with the
+    rotation — so the strict automorphism group contains the cyclic
+    group Z_k and the declared ``ring`` family verifies exactly.
     """
     k = draw(st.integers(min_stages, max_stages))
     stage_latency = draw(st.integers(1, max_latency))
     tb_latency = draw(st.integers(1, max_latency))
     ring_capacity = draw(st.integers(1, max_capacity))
+    hop_wire = wire_for_latency(1, depth=ring_capacity)
+    tb_wire = wire_for_latency(1, depth=1)
 
-    builder = SystemBuilder("ring")
-    for i in range(k):
-        builder.source(f"src{i}", latency=tb_latency)
-        builder.process(f"st{i}", latency=stage_latency)
-        builder.sink(f"snk{i}", latency=tb_latency)
-    for i in range(k):
-        builder.channel(f"in{i}", f"src{i}", f"st{i}", capacity=1)
-    for i in range(k):
-        builder.channel(
-            f"ring{i}", f"st{i}", f"st{(i + 1) % k}",
-            capacity=ring_capacity, initial_tokens=1,
+    parts = [
+        stage(
+            f"st{i}",
+            latency=stage_latency,
+            inputs=[("ring_in", hop_wire), ("in", tb_wire)],
+            outputs=[("ring_out", hop_wire), ("out", tb_wire)],
         )
-    for i in range(k):
-        builder.channel(f"out{i}", f"st{i}", f"snk{i}", capacity=1)
-    return builder.build()
+        for i in range(k)
+    ]
+    design = ring(parts, tokens=1, family="ring")
+    testbenched(
+        design, source_latency=tb_latency, sink_latency=tb_latency
+    )
+    return design.build(name="ring")
 
 
 @st.composite
@@ -201,24 +222,26 @@ def replicated_pipeline_systems(
     stage_latencies = [
         draw(st.integers(1, max_latency)) for _ in range(depth)
     ]
-    capacity = draw(st.integers(0, 2))
+    lane_wire = wire_for_latency(1, depth=draw(st.integers(0, 2)))
 
-    builder = SystemBuilder("pipes")
-    for i in range(k):
-        builder.source(f"src{i}", latency=tb_latency)
-        for d in range(depth):
-            builder.process(f"s{i}_{d}", latency=stage_latencies[d])
-        builder.sink(f"snk{i}", latency=tb_latency)
-    for i in range(k):
-        builder.channel(f"in{i}", f"src{i}", f"s{i}_0", capacity=capacity)
-        for d in range(depth - 1):
-            builder.channel(
-                f"c{i}_{d}", f"s{i}_{d}", f"s{i}_{d + 1}", capacity=capacity
+    design = replicate(
+        k,
+        lambda i: pipe(
+            *(
+                stage(
+                    f"s{i}_{d}",
+                    latency=stage_latencies[d],
+                    wire=lane_wire,
+                )
+                for d in range(depth)
             )
-        builder.channel(
-            f"out{i}", f"s{i}_{depth - 1}", f"snk{i}", capacity=capacity
-        )
-    return builder.build()
+        ),
+        family="pipes",
+    )
+    testbenched(
+        design, source_latency=tb_latency, sink_latency=tb_latency
+    )
+    return design.build(name="pipes")
 
 
 def replicated_family_systems() -> st.SearchStrategy[SystemGraph]:
@@ -227,6 +250,177 @@ def replicated_family_systems() -> st.SearchStrategy[SystemGraph]:
         replicated_lane_systems(),
         replicated_ring_systems(),
         replicated_pipeline_systems(),
+    )
+
+
+# ----------------------------------------------------------------------
+# One strategy per DSL combinator: each yields a *closed* SystemGraph
+# elaborated through that combinator, so properties can quantify over
+# the whole catalog (tests/dsl/test_combinator_properties.py).
+# ----------------------------------------------------------------------
+
+
+def _stage_wire(draw, max_latency: int = 6) -> "object":
+    return wire_for_latency(
+        draw(st.integers(1, max_latency)), depth=draw(st.integers(0, 2))
+    )
+
+
+@st.composite
+def dsl_pipe_systems(draw, max_stages: int = 5) -> SystemGraph:
+    """source_stage → pipe of worker stages → sink_stage."""
+    n = draw(st.integers(1, max_stages))
+    wire = _stage_wire(draw)
+    design = pipe(
+        source_stage("src", latency=draw(st.integers(1, 4)), wire=wire),
+        *(
+            stage(f"w{i}", latency=draw(st.integers(1, 8)), wire=wire)
+            for i in range(n)
+        ),
+        sink_stage("snk", latency=draw(st.integers(1, 4)), wire=wire),
+    )
+    return design.build(name="dsl_pipe")
+
+
+@st.composite
+def dsl_parallel_systems(draw, max_lanes: int = 4) -> SystemGraph:
+    """replicate() lanes closed per-port: the declared 'lanes' family."""
+    k = draw(st.integers(2, max_lanes))
+    wire = _stage_wire(draw)
+    latency = draw(st.integers(1, 8))
+    design = replicate(
+        k,
+        lambda i: stage(f"w{i}", latency=latency, wire=wire),
+        family="lanes",
+    )
+    testbenched(design)
+    return design.build(name="dsl_parallel")
+
+
+@st.composite
+def dsl_fanout_join_systems(draw, max_lanes: int = 4) -> SystemGraph:
+    """fanout() from one source over lanes, joined into one sink."""
+    k = draw(st.integers(2, max_lanes))
+    wire = _stage_wire(draw)
+    latency = draw(st.integers(1, 8))
+    head = source_stage(
+        "src", latency=draw(st.integers(1, 4)), outputs=k, wire=wire
+    )
+    lanes = [stage(f"w{i}", latency=latency, wire=wire) for i in range(k)]
+    design = fanout(head, *lanes, family="lanes")
+    design = join(
+        design,
+        tail=sink_stage(
+            "snk", latency=draw(st.integers(1, 4)), inputs=k, wire=wire
+        ),
+    )
+    return design.build(name="dsl_fanout_join")
+
+
+@st.composite
+def dsl_reduce_tree_systems(draw, max_leaves: int = 6) -> SystemGraph:
+    """reduce_tree() over single-output leaf stages, closed by testbench."""
+    n = draw(st.integers(2, max_leaves))
+    arity = draw(st.integers(2, 3))
+    wire = _stage_wire(draw)
+    leaf_latency = draw(st.integers(1, 6))
+    node_latency = draw(st.integers(1, 6))
+    leaves = [
+        stage(f"leaf{i}", latency=leaf_latency, wire=wire)
+        for i in range(n)
+    ]
+    design = reduce_tree(
+        leaves,
+        lambda level, index, fan_in: stage(
+            f"red{level}_{index}",
+            latency=node_latency,
+            inputs=fan_in,
+            wire=wire,
+        ),
+        arity=arity,
+    )
+    testbenched(design)
+    return design.build(name="dsl_reduce_tree")
+
+
+@st.composite
+def dsl_ring_systems(draw, max_stages: int = 5) -> SystemGraph:
+    """ring() of tapped stages, closed per-port (exact Z_k family)."""
+    k = draw(st.integers(2, max_stages))
+    hop = _stage_wire(draw)
+    tap = _stage_wire(draw)
+    latency = draw(st.integers(1, 6))
+    tokens = draw(st.integers(1, 2))
+    parts = [
+        stage(
+            f"st{i}",
+            latency=latency,
+            inputs=[("ring_in", hop), ("in", tap)],
+            outputs=[("ring_out", hop), ("out", tap)],
+        )
+        for i in range(k)
+    ]
+    design = ring(parts, tokens=tokens, family="ring")
+    testbenched(design)
+    return design.build(name="dsl_ring")
+
+
+@st.composite
+def dsl_mesh_systems(draw, max_edge: int = 3) -> SystemGraph:
+    """mesh() fabrics, open grid or wrapped torus, closed per-port."""
+    rows = draw(st.integers(1, max_edge))
+    cols = draw(st.integers(2 if rows == 1 else 1, max_edge))
+    wrap = draw(st.booleans())
+    design = mesh(
+        rows,
+        cols,
+        latency=draw(st.integers(1, 4)),
+        wire=_stage_wire(draw),
+        wrap=wrap,
+        tokens=draw(st.integers(1, 2)),
+    )
+    testbenched(design)
+    return design.build(name="dsl_mesh")
+
+
+@st.composite
+def dsl_butterfly_systems(draw, max_bits: int = 3) -> SystemGraph:
+    """butterfly() networks closed per-port (exact bit-flip families)."""
+    bits = draw(st.integers(1, max_bits))
+    design = butterfly(
+        bits,
+        latency=draw(st.integers(1, 4)),
+        wire=_stage_wire(draw),
+    )
+    testbenched(design)
+    return design.build(name="dsl_butterfly")
+
+
+@st.composite
+def dsl_rate_chains(draw, max_stages: int = 3) -> SdfGraph:
+    """rate_chain() with small consistent rates (bounded expansion)."""
+    n = draw(st.integers(1, max_stages))
+    menu = [(1, 1), (1, 2), (2, 1), (2, 3), (3, 2), (1, 3), (3, 1)]
+    rates = [draw(st.sampled_from(menu)) for _ in range(n)]
+    times = [draw(st.integers(1, 6)) for _ in range(n + 1)]
+    return rate_chain(
+        "hyp_chain",
+        rates,
+        execution_times=times,
+        channel_latency=draw(st.integers(1, 4)),
+    )
+
+
+def dsl_combinator_systems() -> st.SearchStrategy[SystemGraph]:
+    """A closed system from any combinator in the catalog."""
+    return st.one_of(
+        dsl_pipe_systems(),
+        dsl_parallel_systems(),
+        dsl_fanout_join_systems(),
+        dsl_reduce_tree_systems(),
+        dsl_ring_systems(),
+        dsl_mesh_systems(),
+        dsl_butterfly_systems(),
     )
 
 

@@ -1,0 +1,1 @@
+"""Tests for the seeded workload suite (repro.workloads)."""

@@ -1,0 +1,65 @@
+"""The ``ermes gen`` subcommand, end to end through ``main()``."""
+
+import json
+
+from repro.cli import main
+from repro.core import system_from_dict, system_to_dict, validate_system
+from repro.workloads import FAMILIES, generate
+
+
+class TestList:
+    def test_lists_every_family(self, capsys):
+        assert main(["gen", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in FAMILIES:
+            assert name in out
+
+    def test_list_shows_size_semantics(self, capsys):
+        main(["gen", "--list"])
+        out = capsys.readouterr().out
+        assert "subcarrier lanes" in out
+        assert "default size" in out
+
+
+class TestGenerate:
+    def test_stdout_json_round_trips(self, capsys):
+        assert main(["gen", "ofdm-rx", "--seed", "3", "--size", "3"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        system = system_from_dict(data)
+        validate_system(system)
+        assert system_to_dict(system) == system_to_dict(
+            generate("ofdm-rx", seed=3, size=3).system
+        )
+
+    def test_declared_families_survive_the_json(self, capsys):
+        main(["gen", "noc-torus", "--size", "2"])
+        data = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in data["families"]}
+        assert names == {"torus-rows", "torus-cols"}
+
+    def test_output_file_and_summary(self, tmp_path, capsys):
+        target = tmp_path / "wl.json"
+        code = main(["gen", "butterfly", "--seed", "1", "-o", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "butterfly-s2-seed1" in out
+        assert f"written to {target}" in out
+        assert "declared families" in out
+        system = system_from_dict(json.loads(target.read_text()))
+        validate_system(system)
+
+
+class TestErrors:
+    def test_missing_family_exits_two(self, capsys):
+        assert main(["gen"]) == 2
+        assert "family name is required" in capsys.readouterr().err
+
+    def test_unknown_family_exits_two(self, capsys):
+        assert main(["gen", "warp-core"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload family 'warp-core'" in err
+        assert "ofdm-rx" in err  # the catalog is listed in the error
+
+    def test_undersized_request_exits_two(self, capsys):
+        assert main(["gen", "noc-torus", "--size", "1"]) == 2
+        assert "at least a 2x2" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""The workload suite: five seeded families, deterministic and validated."""
+
+import random
+
+import pytest
+
+from repro.core import ChannelOrdering, system_to_dict, validate_system
+from repro.errors import ValidationError
+from repro.ir import lower
+from repro.sym import verify_families
+from repro.workloads import FAMILIES, Workload, family_names, generate
+from repro.workloads.suite import synthetic_soc_seeded
+
+
+class TestCatalog:
+    def test_five_families_published(self):
+        assert family_names() == tuple(FAMILIES)
+        assert set(family_names()) == {
+            "bursty-soc", "butterfly", "noc-torus", "ofdm-rx",
+            "rate-converter",
+        }
+
+    def test_every_spec_has_size_help(self):
+        for spec in FAMILIES.values():
+            assert spec.default_size >= 1
+            assert spec.size_help
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValidationError, match="unknown workload family"):
+            generate("fft-banks")
+
+    def test_unknown_family_error_lists_the_catalog(self):
+        with pytest.raises(ValidationError, match="noc-torus"):
+            generate("nope")
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+class TestEveryFamily:
+    def test_generates_a_valid_system(self, family):
+        workload = generate(family, seed=1)
+        assert isinstance(workload, Workload)
+        assert workload.family == family
+        validate_system(workload.system)
+
+    def test_default_size_applied(self, family):
+        workload = generate(family, seed=0)
+        assert workload.size == FAMILIES[family].default_size
+
+    def test_deterministic_per_seed(self, family):
+        first = generate(family, seed=5)
+        second = generate(family, seed=5)
+        assert system_to_dict(first.system) == system_to_dict(second.system)
+
+    def test_seed_matters(self, family):
+        a = system_to_dict(generate(family, seed=0).system)
+        b = system_to_dict(generate(family, seed=1).system)
+        assert a != b
+
+    def test_declared_families_verify(self, family):
+        system = generate(family, seed=2).system
+        ir = lower(system, ChannelOrdering.declaration_order(system))
+        verified = verify_families(ir, system.declared_families)
+        assert len(verified) == len(system.declared_families)
+
+
+class TestSizes:
+    def test_size_scales_ofdm_lanes(self):
+        small = generate("ofdm-rx", size=2)
+        large = generate("ofdm-rx", size=5)
+        assert len(large.system.processes) > len(small.system.processes)
+
+    def test_ofdm_declares_the_subcarrier_family(self):
+        system = generate("ofdm-rx", size=3).system
+        (family,) = system.declared_families
+        assert family.name == "subcarriers"
+        assert family.replicas == 3
+
+    def test_undersized_request_rejected(self):
+        with pytest.raises(ValidationError):
+            generate("ofdm-rx", size=1)
+
+    def test_rate_converter_expansion_is_bounded(self):
+        for seed in range(6):
+            workload = generate("rate-converter", seed=seed)
+            # The generator redraws rate menus until the homogeneous
+            # expansion stays small enough to analyze in a test suite.
+            assert len(workload.system.processes) <= 64
+
+
+class TestSeededSoc:
+    def test_matches_core_generator_stream(self):
+        ours = synthetic_soc_seeded(16, random.Random(3))
+        from repro.core.generators import synthetic_soc
+
+        theirs = synthetic_soc(16, rng=random.Random(3))
+        assert system_to_dict(ours) == system_to_dict(theirs)
